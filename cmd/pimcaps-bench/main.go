@@ -1,0 +1,51 @@
+// Command pimcaps-bench regenerates the paper's evaluation tables and
+// figures. With no flags it runs every experiment; -exp selects one by
+// id (fig4, fig5, fig6a, fig6b, fig7, fig15a, fig15b, fig16a, fig16b,
+// fig17a, fig17b, fig18, table5, overhead); -list shows the ids;
+// -markdown renders GitHub-flavored tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimcapsnet/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	markdown := flag.Bool("markdown", false, "render tables as markdown")
+	csvOut := flag.Bool("csv", false, "render tables as CSV")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch {
+		case *markdown:
+			t.Markdown(os.Stdout)
+		case *csvOut:
+			t.CSV(os.Stdout)
+		default:
+			t.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

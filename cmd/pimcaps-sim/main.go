@@ -1,0 +1,95 @@
+// Command pimcaps-sim evaluates a single CapsNet benchmark under a
+// chosen PIM-CapsNet design point and prints the timing and energy
+// model's full decomposition.
+//
+// Usage:
+//
+//	pimcaps-sim -bench Caps-MN1 -design PIM-CapsNet [-clock 625] [-dim H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimcapsnet/internal/core"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "Caps-MN1", "Table 1 benchmark name")
+	designName := flag.String("design", "PIM-CapsNet", "design point (Baseline, GPU-ICP, PIM-CapsNet, PIM-Intra, PIM-Inter, RMAS-PIM, RMAS-GPU, All-in-PIM)")
+	clockMHz := flag.Float64("clock", 312.5, "HMC logic clock in MHz (Fig. 18 sweep: 312.5, 625, 937.5)")
+	dimName := flag.String("dim", "", "force distribution dimension (B, L or H; default: execution-score pick)")
+	highFi := flag.Bool("des", false, "use the event-driven vault model instead of the fast window model")
+	flag.Parse()
+
+	b, err := workload.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "available benchmarks:")
+		for _, x := range workload.Benchmarks {
+			fmt.Fprintf(os.Stderr, "  %s\n", x)
+		}
+		os.Exit(1)
+	}
+
+	var design core.Design
+	found := false
+	for _, d := range core.Designs {
+		if strings.EqualFold(d.String(), *designName) {
+			design, found = d, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *designName)
+		os.Exit(1)
+	}
+
+	e := core.NewEngine()
+	e.HMC = e.HMC.WithClock(*clockMHz * 1e6)
+	e.HighFidelity = *highFi
+	switch strings.ToUpper(*dimName) {
+	case "":
+	case "B":
+		d := distribute.DimB
+		e.ForceDim = &d
+	case "L":
+		d := distribute.DimL
+		e.ForceDim = &d
+	case "H":
+		d := distribute.DimH
+		e.ForceDim = &d
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dimension %q (want B, L or H)\n", *dimName)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark: %s on %s\n", b, e.GPU)
+	fmt.Printf("design:    %s (HMC @ %.1f MHz, %d vaults × %d PEs)\n\n",
+		design, e.HMC.ClockHz/1e6, e.HMC.Vaults, e.HMC.PEsPerVault)
+
+	base := e.Inference(b, core.Baseline)
+	res := e.Inference(b, design)
+	fmt.Printf("per-batch host stage:   %8.3f ms\n", res.HostBatch*1e3)
+	fmt.Printf("per-batch device stage: %8.3f ms\n", res.DeviceBatch*1e3)
+	fmt.Printf("run total (%d batches): %8.3f s  (baseline %.3f s, speedup %.2fx)\n",
+		res.Batches, res.Total, base.Total, core.Speedup(base, res))
+	eng := res.Energy
+	fmt.Printf("energy: total %.2f J (static %.2f, compute %.2f, dram %.2f, xbar %.2f, ext %.2f)\n",
+		eng.Total(), eng.Static, eng.Compute, eng.DRAM, eng.Crossbar, eng.External)
+	fmt.Printf("energy saving vs baseline: %.1f%%\n", 100*core.EnergySaving(base, res))
+
+	if design != core.Baseline && design != core.GPUICP {
+		rp := res.RP
+		fmt.Printf("\nrouting procedure in HMC (dimension %v):\n", rp.Dim)
+		fmt.Printf("  exec %.3f ms | VRS %.3f ms | crossbar %.3f ms | total %.3f ms\n",
+			rp.Exec*1e3, rp.VRS*1e3, rp.Xbar*1e3, rp.Time*1e3)
+		fmt.Printf("  PE ops %.3g | DRAM bytes %.3g\n", rp.PEOps, rp.DRAMBytes)
+		gpuT, _ := e.RPGPU(b, false)
+		fmt.Printf("  RP-only speedup vs GPU: %.2fx\n", gpuT/rp.Time)
+	}
+}

@@ -1,0 +1,48 @@
+// Co-simulation: run the same routing problem three ways — the
+// functional library on the host, the library with PE-approximated
+// numerics, and the functional/timing co-simulator that interprets
+// the routing procedure on the simulated cube — and show that the
+// numbers agree while the co-simulator additionally reports where the
+// work and the communication landed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/pimexec"
+	"pimcapsnet/internal/tensor"
+)
+
+func main() {
+	const nb, nl, nh, ch = 4, 48, 8, 16
+	rng := rand.New(rand.NewSource(7))
+	preds := tensor.New(nb, nl, nh, ch)
+	for i := range preds.Data() {
+		preds.Data()[i] = float32(rng.NormFloat64()) * 0.1
+	}
+
+	host := capsnet.DynamicRoutingShared(preds, 3, capsnet.ExactMath{})
+	pe := capsnet.DynamicRoutingShared(preds, 3, capsnet.NewPEMath())
+	fmt.Println("capsule norms of batch element 0 (exact | PE math | cube):")
+
+	for _, dim := range distribute.Dimensions {
+		x := pimexec.New(dim)
+		r := x.Run(preds, 3)
+		if dim == distribute.DimB {
+			for j := 0; j < nh; j++ {
+				fmt.Printf("  caps %d: %.4f | %.4f | %.4f\n", j,
+					tensor.Norm(host.V.Data()[j*ch:(j+1)*ch]),
+					tensor.Norm(pe.V.Data()[j*ch:(j+1)*ch]),
+					tensor.Norm(r.Routing.V.Data()[j*ch:(j+1)*ch]))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("dimension %v: %2d active vaults, busiest vault %6.0f PE-cycles, %8.0f B over the crossbar, %d phases\n",
+			dim, r.ActiveVaults(), r.MaxComputeCycles(), r.TotalCommBytes(), r.Phases)
+	}
+	fmt.Println("\nthe distribution dimension changes where work and traffic land;")
+	fmt.Println("the capsule values stay numerically equivalent (PE-math column).")
+}

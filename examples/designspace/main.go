@@ -1,0 +1,62 @@
+// Design-space exploration: the questions an architect would ask the
+// simulator beyond the paper's figures — how the distribution
+// dimension, the PE clock and the vault count interact for one
+// workload, and where the execution score's offline pick lands.
+package main
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/core"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/hmc"
+	"pimcapsnet/internal/workload"
+)
+
+func main() {
+	b, _ := workload.ByName("Caps-EN2") // 47 H capsules: an awkward split
+	fmt.Printf("design space for %s\n\n", b)
+
+	fmt.Println("dimension × clock (RP ms; * = execution-score pick):")
+	fmt.Printf("%10s", "")
+	for _, d := range distribute.Dimensions {
+		fmt.Printf("%10v", d)
+	}
+	fmt.Println()
+	for _, mhz := range []float64{312.5, 625, 937.5} {
+		engine := core.NewEngine()
+		engine.HMC = engine.HMC.WithClock(mhz * 1e6)
+		pick := distribute.NewScorer(engine.HMC).Best(distribute.FromBenchmark(b, engine.HMC)).Dim
+		fmt.Printf("%7.1fMHz", mhz)
+		for _, d := range distribute.Dimensions {
+			dim := d
+			engine.ForceDim = &dim
+			cell := fmt.Sprintf("%.2f", engine.RPPIM(b, core.PIMCapsNet).Time*1e3)
+			if d == pick {
+				cell += "*"
+			}
+			fmt.Printf("%10s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nvault scaling at 312.5 MHz (full PIM-CapsNet RP):")
+	for _, vaults := range []int{8, 16, 32} {
+		engine := core.NewEngine()
+		cfg := hmc.DefaultConfig()
+		cfg.Vaults = vaults
+		// Internal bandwidth scales with TSV count.
+		cfg.InternalBW = 512e9 * float64(vaults) / 32
+		engine.HMC = cfg
+		rp := engine.RPPIM(b, core.PIMCapsNet)
+		fmt.Printf("  %2d vaults: RP %.2f ms (dimension %v)\n", vaults, rp.Time*1e3, rp.Dim)
+	}
+
+	fmt.Println("\nE/M model behind the offline pick (Table 3 parameters):")
+	cfg := hmc.DefaultConfig()
+	p := distribute.FromBenchmark(b, cfg)
+	s := distribute.NewScorer(cfg)
+	for _, c := range s.Evaluate(p) {
+		fmt.Printf("  dim %v: E = %.3g ops/vault, M = %.3g bytes, score %.3g\n", c.Dim, c.E, c.M, c.Score)
+	}
+}

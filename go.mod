@@ -1,0 +1,3 @@
+module pimcapsnet
+
+go 1.22

@@ -1,0 +1,104 @@
+package capsnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimcapsnet/internal/tensor"
+)
+
+// EMCapsLayer is a capsule layer connected by EM routing instead of
+// dynamic routing: child capsules vote for parent poses through
+// per-pair weight matrices and Expectation-Maximization assigns
+// responsibilities (§2.2's second routing algorithm). Child
+// activations are the input capsule norms.
+type EMCapsLayer struct {
+	NumIn, DimIn   int
+	NumOut, DimOut int
+	Config         EMConfig
+	Weights        *tensor.Tensor // NumIn×NumOut×DimIn×DimOut
+}
+
+// NewEMCapsLayer creates an EM-routed capsule layer with
+// Xavier-initialized vote transforms.
+func NewEMCapsLayer(numIn, dimIn, numOut, dimOut int, cfg EMConfig, rng *rand.Rand) *EMCapsLayer {
+	inner := NewCapsLayer(numIn, dimIn, numOut, dimOut, 1, rng)
+	return &EMCapsLayer{
+		NumIn: numIn, DimIn: dimIn, NumOut: numOut, DimOut: dimOut,
+		Config: cfg, Weights: inner.Weights,
+	}
+}
+
+// Forward routes input capsules (B×NumIn×DimIn) into parent poses and
+// activations.
+func (l *EMCapsLayer) Forward(u *tensor.Tensor, mathOps RoutingMath) EMResult {
+	if u.Rank() != 3 || u.Dim(1) != l.NumIn || u.Dim(2) != l.DimIn {
+		panic(fmt.Sprintf("capsnet: EMCapsLayer input %v, want B×%d×%d", u.Shape(), l.NumIn, l.DimIn))
+	}
+	votes := PredictionVectors(u, l.Weights)
+	nb := u.Dim(0)
+	act := tensor.New(nb, l.NumIn)
+	for k := 0; k < nb; k++ {
+		for i := 0; i < l.NumIn; i++ {
+			act.Data()[k*l.NumIn+i] = tensor.Norm(u.Data()[(k*l.NumIn+i)*l.DimIn : (k*l.NumIn+i+1)*l.DimIn])
+		}
+	}
+	return EMRouting(votes, act, l.Config, mathOps)
+}
+
+// EMNetwork is a CapsNet whose final layer routes with EM: the same
+// Conv/PrimaryCaps front end, an EM-routed class layer, and
+// classification by parent activation.
+type EMNetwork struct {
+	Config  Config
+	Conv    *ConvLayer
+	Primary *PrimaryCapsLayer
+	Class   *EMCapsLayer
+}
+
+// NewEMNetwork builds an EM-routed network from the same Config used
+// for dynamic-routing networks (RoutingIterations maps to EM
+// iterations).
+func NewEMNetwork(cfg Config) (*EMNetwork, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conv := NewConvLayer(tensor.ConvSpec{Cin: cfg.InputChannels, Cout: cfg.ConvChannels, K: cfg.ConvKernel, Stride: cfg.ConvStride}, rng)
+	oh, ow := conv.Spec.OutSize(cfg.InputH, cfg.InputW)
+	primary := NewPrimaryCapsLayer(cfg.ConvChannels, cfg.PrimaryChannels, cfg.PrimaryDim, cfg.PrimaryKernel, cfg.PrimaryStride, rng)
+	numL := primary.NumCaps(oh, ow)
+	em := DefaultEMConfig()
+	em.Iterations = cfg.RoutingIterations
+	class := NewEMCapsLayer(numL, cfg.PrimaryDim, cfg.Classes, cfg.DigitDim, em, rng)
+	return &EMNetwork{Config: cfg, Conv: conv, Primary: primary, Class: class}, nil
+}
+
+// Forward runs the encoder; classification scores are the parent
+// activations.
+func (n *EMNetwork) Forward(batch *tensor.Tensor, mathOps RoutingMath) EMResult {
+	if batch.Rank() != 4 {
+		panic(fmt.Sprintf("capsnet: Forward wants B×C×H×W, got %v", batch.Shape()))
+	}
+	nb := batch.Dim(0)
+	numL := n.Class.NumIn
+	u := tensor.New(nb, numL, n.Config.PrimaryDim)
+	imgLen := n.Config.InputChannels * n.Config.InputH * n.Config.InputW
+	for k := 0; k < nb; k++ {
+		img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
+		feat := n.Conv.Forward(img)
+		caps := n.Primary.Forward(feat)
+		copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
+	}
+	return n.Class.Forward(u, mathOps)
+}
+
+// Predictions returns the argmax parent activation per batch element.
+func (n *EMNetwork) Predictions(res EMResult) []int {
+	nb, nc := res.Act.Dim(0), res.Act.Dim(1)
+	out := make([]int, nb)
+	for k := 0; k < nb; k++ {
+		out[k] = tensor.ArgMax(res.Act.Data()[k*nc : (k+1)*nc])
+	}
+	return out
+}

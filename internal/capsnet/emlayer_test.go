@@ -1,0 +1,84 @@
+package capsnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimcapsnet/internal/tensor"
+)
+
+func TestEMCapsLayerShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewEMCapsLayer(12, 8, 4, 16, DefaultEMConfig(), rng)
+	u := tensor.New(2, 12, 8)
+	for i := range u.Data() {
+		u.Data()[i] = float32(rng.NormFloat64()) * 0.3
+	}
+	res := l.Forward(u, ExactMath{})
+	if sh := res.Pose.Shape(); sh[0] != 2 || sh[1] != 4 || sh[2] != 16 {
+		t.Fatalf("pose shape %v", sh)
+	}
+	if sh := res.Act.Shape(); sh[0] != 2 || sh[1] != 4 {
+		t.Fatalf("act shape %v", sh)
+	}
+}
+
+func TestEMCapsLayerBadInputPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewEMCapsLayer(12, 8, 4, 16, DefaultEMConfig(), rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Forward(tensor.New(2, 9, 8), ExactMath{})
+}
+
+func TestEMNetworkForward(t *testing.T) {
+	cfg := TinyConfig(3)
+	net, err := NewEMNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tensor.New(2, 1, 12, 12)
+	rng := rand.New(rand.NewSource(3))
+	for i := range batch.Data() {
+		batch.Data()[i] = rng.Float32()
+	}
+	res := net.Forward(batch, ExactMath{})
+	preds := net.Predictions(res)
+	if len(preds) != 2 {
+		t.Fatalf("predictions %v", preds)
+	}
+	for _, p := range preds {
+		if p < 0 || p >= 3 {
+			t.Fatalf("prediction %d out of range", p)
+		}
+	}
+	for _, a := range res.Act.Data() {
+		if a < 0 || a > 1 {
+			t.Fatalf("activation %v outside [0,1]", a)
+		}
+	}
+}
+
+func TestEMNetworkRejectsBadConfig(t *testing.T) {
+	bad := TinyConfig(0)
+	if _, err := NewEMNetwork(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEMNetworkPEMathAgrees(t *testing.T) {
+	net, _ := NewEMNetwork(TinyConfig(3))
+	batch := tensor.New(1, 1, 12, 12)
+	rng := rand.New(rand.NewSource(4))
+	for i := range batch.Data() {
+		batch.Data()[i] = rng.Float32()
+	}
+	exact := net.Forward(batch, ExactMath{})
+	approx := net.Forward(batch, NewPEMath())
+	if !approx.Pose.AllClose(exact.Pose, 0.15, 0.05) {
+		t.Fatal("EM network PE math diverged from exact")
+	}
+}

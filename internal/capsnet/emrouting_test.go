@@ -1,0 +1,124 @@
+package capsnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimcapsnet/internal/tensor"
+)
+
+func emFixture(rng *rand.Rand, nb, nl, nh, ch int) (*tensor.Tensor, *tensor.Tensor) {
+	preds := tensor.New(nb, nl, nh, ch)
+	for i := range preds.Data() {
+		preds.Data()[i] = float32(rng.NormFloat64()) * 0.2
+	}
+	act := tensor.New(nb, nl)
+	for i := range act.Data() {
+		act.Data()[i] = 0.5 + rng.Float32()*0.5
+	}
+	return preds, act
+}
+
+func TestEMRoutingShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	preds, act := emFixture(rng, 2, 6, 3, 4)
+	res := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	if sh := res.Pose.Shape(); sh[0] != 2 || sh[1] != 3 || sh[2] != 4 {
+		t.Fatalf("pose shape %v", sh)
+	}
+	if sh := res.Act.Shape(); sh[0] != 2 || sh[1] != 3 {
+		t.Fatalf("act shape %v", sh)
+	}
+	if sh := res.R.Shape(); sh[0] != 2 || sh[1] != 6 || sh[2] != 3 {
+		t.Fatalf("R shape %v", sh)
+	}
+}
+
+func TestEMRoutingResponsibilitiesAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	preds, act := emFixture(rng, 1, 8, 4, 4)
+	res := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	for i := 0; i < 8; i++ {
+		var sum float64
+		for j := 0; j < 4; j++ {
+			v := res.R.At(0, i, j)
+			if v < -1e-6 || v > 1+1e-6 {
+				t.Fatalf("r[%d][%d] = %v outside [0,1]", i, j, v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Fatalf("responsibilities for capsule %d sum to %v", i, sum)
+		}
+	}
+}
+
+func TestEMRoutingActivationsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	preds, act := emFixture(rng, 2, 10, 5, 4)
+	res := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	for i, a := range res.Act.Data() {
+		if a < 0 || a > 1 {
+			t.Fatalf("activation %d = %v outside [0,1]", i, a)
+		}
+	}
+}
+
+func TestEMRoutingFindsCluster(t *testing.T) {
+	// All children vote tightly for parent 0's pose but scatter on
+	// parent 1 — parent 0 must end with the higher activation.
+	nb, nl, nh, ch := 1, 10, 2, 4
+	preds := tensor.New(nb, nl, nh, ch)
+	rng := rand.New(rand.NewSource(4))
+	target := []float32{0.5, -0.3, 0.8, 0.1}
+	for i := 0; i < nl; i++ {
+		for d := 0; d < ch; d++ {
+			preds.Set(target[d]+float32(rng.NormFloat64())*0.01, 0, i, 0, d)
+			preds.Set(float32(rng.NormFloat64())*1.5, 0, i, 1, d)
+		}
+	}
+	act := tensor.New(nb, nl)
+	act.Fill(1)
+	res := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	if res.Act.At(0, 0) <= res.Act.At(0, 1) {
+		t.Fatalf("tight cluster activation %v not above scattered %v", res.Act.At(0, 0), res.Act.At(0, 1))
+	}
+	// Recovered pose must be near the consensus vote.
+	for d := 0; d < ch; d++ {
+		if math.Abs(float64(res.Pose.At(0, 0, d)-target[d])) > 0.05 {
+			t.Fatalf("pose dim %d = %v, want ≈ %v", d, res.Pose.At(0, 0, d), target[d])
+		}
+	}
+}
+
+func TestEMRoutingZeroActivationsHandled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	preds, _ := emFixture(rng, 1, 4, 2, 3)
+	act := tensor.New(1, 4) // all-zero child activations
+	res := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	for _, a := range res.Act.Data() {
+		if a != 0 {
+			t.Fatalf("dead children produced activation %v", a)
+		}
+	}
+}
+
+func TestEMRoutingPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on act/votes mismatch")
+		}
+	}()
+	EMRouting(tensor.New(1, 4, 2, 3), tensor.New(1, 5), DefaultEMConfig(), ExactMath{})
+}
+
+func TestEMRoutingPEMathClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	preds, act := emFixture(rng, 1, 8, 3, 4)
+	exact := EMRouting(preds, act, DefaultEMConfig(), ExactMath{})
+	approx := EMRouting(preds, act, DefaultEMConfig(), NewPEMath())
+	if !approx.Pose.AllClose(exact.Pose, 0.1, 0.05) {
+		t.Fatal("PE math EM poses diverged from exact")
+	}
+}

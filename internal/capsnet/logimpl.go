@@ -1,0 +1,9 @@
+package capsnet
+
+import "math"
+
+// logImpl isolates the host log used by EM routing cost terms.
+func logImpl(x float64) float64 { return math.Log(x) }
+
+// sqrtImpl isolates the host sqrt used by the trainer.
+func sqrtImpl(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,58 @@
+package capsnet
+
+// Margin-loss hyperparameters from Sabour et al.: correct-class margin
+// m+ = 0.9, wrong-class margin m− = 0.1, down-weight λ = 0.5.
+const (
+	MarginPlus  = 0.9
+	MarginMinus = 0.1
+	MarginDown  = 0.5
+)
+
+// MarginLoss computes the capsule margin loss for one example:
+//
+//	L = Σ_j T_j·max(0, m+ − ‖v_j‖)² + λ(1−T_j)·max(0, ‖v_j‖ − m−)²
+//
+// lengths holds ‖v_j‖ per class and label is the true class index.
+func MarginLoss(lengths []float32, label int) float32 {
+	var loss float32
+	for j, l := range lengths {
+		if j == label {
+			if d := MarginPlus - l; d > 0 {
+				loss += d * d
+			}
+		} else {
+			if d := l - MarginMinus; d > 0 {
+				loss += MarginDown * d * d
+			}
+		}
+	}
+	return loss
+}
+
+// MarginLossGrad returns dL/d‖v_j‖ for each class.
+func MarginLossGrad(lengths []float32, label int) []float32 {
+	g := make([]float32, len(lengths))
+	for j, l := range lengths {
+		if j == label {
+			if d := MarginPlus - l; d > 0 {
+				g[j] = -2 * d
+			}
+		} else {
+			if d := l - MarginMinus; d > 0 {
+				g[j] = 2 * MarginDown * d
+			}
+		}
+	}
+	return g
+}
+
+// ReconstructionLoss is the scaled sum of squared errors the decoder
+// is trained with (scale 0.0005 in the reference implementation).
+func ReconstructionLoss(recon, target []float32) float32 {
+	var s float32
+	for i := range recon {
+		d := recon[i] - target[i]
+		s += d * d
+	}
+	return 0.0005 * s
+}

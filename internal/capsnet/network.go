@@ -1,0 +1,182 @@
+package capsnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimcapsnet/internal/tensor"
+)
+
+// Config describes a CapsNet with the architecture family of Fig. 2:
+// Conv → PrimaryCaps → (routing) → final Caps layer → FC decoder.
+type Config struct {
+	// Input geometry.
+	InputChannels, InputH, InputW int
+	// Conv layer.
+	ConvChannels, ConvKernel, ConvStride int
+	// PrimaryCaps layer.
+	PrimaryChannels, PrimaryDim, PrimaryKernel, PrimaryStride int
+	// Final capsule layer.
+	Classes, DigitDim, RoutingIterations int
+	// WithDecoder adds the reconstruction FC stack.
+	WithDecoder bool
+	// SharedRouting switches the final Caps layer to the paper's
+	// batch-shared routing coefficients (Alg. 1) instead of the
+	// per-sample coefficients of Sabour et al.
+	SharedRouting bool
+	// Seed drives all weight initialization.
+	Seed int64
+}
+
+// MNISTConfig returns the CapsNet-MNIST architecture of Sabour et al.
+// (28×28×1 input, 256 9×9 conv, 32×8D primary capsules, 10 16D digit
+// capsules, 3 routing iterations).
+func MNISTConfig() Config {
+	return Config{
+		InputChannels: 1, InputH: 28, InputW: 28,
+		ConvChannels: 256, ConvKernel: 9, ConvStride: 1,
+		PrimaryChannels: 32, PrimaryDim: 8, PrimaryKernel: 9, PrimaryStride: 2,
+		Classes: 10, DigitDim: 16, RoutingIterations: 3,
+		WithDecoder: true,
+		Seed:        1,
+	}
+}
+
+// TinyConfig returns a miniature network suitable for unit tests and
+// quick examples (12×12 input, small capsule counts) while preserving
+// every architectural stage.
+func TinyConfig(classes int) Config {
+	return Config{
+		InputChannels: 1, InputH: 12, InputW: 12,
+		ConvChannels: 16, ConvKernel: 5, ConvStride: 1,
+		PrimaryChannels: 4, PrimaryDim: 8, PrimaryKernel: 5, PrimaryStride: 2,
+		Classes: classes, DigitDim: 16, RoutingIterations: 3,
+		WithDecoder: false,
+		Seed:        1,
+	}
+}
+
+// Validate reports an error for an inconsistent configuration.
+func (c Config) Validate() error {
+	if c.InputChannels <= 0 || c.InputH <= 0 || c.InputW <= 0 {
+		return fmt.Errorf("capsnet: invalid input geometry %dx%dx%d", c.InputChannels, c.InputH, c.InputW)
+	}
+	if c.Classes <= 0 || c.DigitDim <= 0 {
+		return fmt.Errorf("capsnet: invalid class caps %d·%d", c.Classes, c.DigitDim)
+	}
+	if c.RoutingIterations < 1 {
+		return fmt.Errorf("capsnet: need ≥1 routing iteration, got %d", c.RoutingIterations)
+	}
+	convSpec := tensor.ConvSpec{Cin: c.InputChannels, Cout: c.ConvChannels, K: c.ConvKernel, Stride: c.ConvStride}
+	if err := convSpec.Validate(); err != nil {
+		return err
+	}
+	oh, ow := convSpec.OutSize(c.InputH, c.InputW)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("capsnet: conv kernel %d does not fit input %dx%d", c.ConvKernel, c.InputH, c.InputW)
+	}
+	ph, pw := (tensor.ConvSpec{Cin: c.ConvChannels, Cout: c.PrimaryChannels * c.PrimaryDim, K: c.PrimaryKernel, Stride: c.PrimaryStride}).OutSize(oh, ow)
+	if ph <= 0 || pw <= 0 {
+		return fmt.Errorf("capsnet: primary kernel %d does not fit conv output %dx%d", c.PrimaryKernel, oh, ow)
+	}
+	return nil
+}
+
+// Network is a complete CapsNet.
+type Network struct {
+	Config  Config
+	Conv    *ConvLayer
+	Primary *PrimaryCapsLayer
+	Digit   *CapsLayer
+	Dec     *Decoder
+
+	convH, convW int // conv output spatial size
+}
+
+// New builds a network from cfg with seeded random initialization.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conv := NewConvLayer(tensor.ConvSpec{Cin: cfg.InputChannels, Cout: cfg.ConvChannels, K: cfg.ConvKernel, Stride: cfg.ConvStride}, rng)
+	oh, ow := conv.Spec.OutSize(cfg.InputH, cfg.InputW)
+	primary := NewPrimaryCapsLayer(cfg.ConvChannels, cfg.PrimaryChannels, cfg.PrimaryDim, cfg.PrimaryKernel, cfg.PrimaryStride, rng)
+	numL := primary.NumCaps(oh, ow)
+	digit := NewCapsLayer(numL, cfg.PrimaryDim, cfg.Classes, cfg.DigitDim, cfg.RoutingIterations, rng)
+	if cfg.SharedRouting {
+		digit.Mode = RouteBatchShared
+	}
+	n := &Network{Config: cfg, Conv: conv, Primary: primary, Digit: digit, convH: oh, convW: ow}
+	if cfg.WithDecoder {
+		n.Dec = NewDecoder(cfg.Classes*cfg.DigitDim, cfg.InputChannels*cfg.InputH*cfg.InputW, rng)
+	}
+	return n, nil
+}
+
+// NumPrimaryCaps returns the number of low-level (primary) capsules.
+func (n *Network) NumPrimaryCaps() int { return n.Digit.NumIn }
+
+// Output is the result of a forward pass over one batch.
+type Output struct {
+	// Capsules holds the final capsule vectors, B×Classes×DigitDim.
+	Capsules *tensor.Tensor
+	// Lengths holds ‖v_j‖ per class, B×Classes — the class
+	// probabilities CapsNet predicts.
+	Lengths *tensor.Tensor
+	// Routing carries the final routing state (coefficients, logits).
+	Routing RoutingResult
+	// Primary holds the primary capsules, B×L×DimIn (kept for the
+	// trainer).
+	Primary *tensor.Tensor
+}
+
+// Predictions returns the argmax class per batch element.
+func (o *Output) Predictions() []int {
+	nb, nc := o.Lengths.Dim(0), o.Lengths.Dim(1)
+	out := make([]int, nb)
+	for k := 0; k < nb; k++ {
+		out[k] = tensor.ArgMax(o.Lengths.Data()[k*nc : (k+1)*nc])
+	}
+	return out
+}
+
+// Forward runs the encoder on a batch of images (B×C×H×W) with the
+// given routing math.
+func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
+	if batch.Rank() != 4 {
+		panic(fmt.Sprintf("capsnet: Forward wants B×C×H×W, got %v", batch.Shape()))
+	}
+	nb := batch.Dim(0)
+	numL := n.NumPrimaryCaps()
+	u := tensor.New(nb, numL, n.Config.PrimaryDim)
+	imgLen := n.Config.InputChannels * n.Config.InputH * n.Config.InputW
+	parallelFor(nb, func(k int) {
+		img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
+		feat := n.Conv.Forward(img)
+		caps := n.Primary.Forward(feat) // numL×PrimaryDim
+		copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
+	})
+	res := n.Digit.Forward(u, mathOps)
+	lengths := tensor.New(nb, n.Config.Classes)
+	for k := 0; k < nb; k++ {
+		for j := 0; j < n.Config.Classes; j++ {
+			off := (k*n.Config.Classes + j) * n.Config.DigitDim
+			lengths.Data()[k*n.Config.Classes+j] = tensor.Norm(res.V.Data()[off : off+n.Config.DigitDim])
+		}
+	}
+	return &Output{Capsules: res.V, Lengths: lengths, Routing: res, Primary: u}
+}
+
+// Reconstruct runs the decoder on the capsules of batch element k,
+// masking all but class j (the standard CapsNet reconstruction).
+// It panics if the network was built without a decoder.
+func (n *Network) Reconstruct(out *Output, k, j int) []float32 {
+	if n.Dec == nil {
+		panic("capsnet: network has no decoder")
+	}
+	nc, dd := n.Config.Classes, n.Config.DigitDim
+	masked := make([]float32, nc*dd)
+	copy(masked[j*dd:(j+1)*dd], out.Capsules.Data()[(k*nc+j)*dd:(k*nc+j+1)*dd])
+	return n.Dec.Forward(masked)
+}

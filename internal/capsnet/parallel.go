@@ -1,0 +1,86 @@
+package capsnet
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(k) for k in [0, n) across GOMAXPROCS workers.
+// Work items must write to disjoint state (every use in this package
+// writes per-sample slices), so results are identical to the serial
+// loop.
+func parallelFor(n int, fn func(k int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				fn(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+}
+
+// parallelChunks splits [0, n) into one contiguous chunk per worker
+// and runs fn(worker, lo, hi) concurrently; workers receive distinct
+// worker indices so they can own private accumulation buffers that the
+// caller merges deterministically afterwards.
+func parallelChunks(n, workers int, fn func(worker, lo, hi int)) int {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	used := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return used
+}
+
+// maxWorkers bounds worker-buffer allocation for chunked parallelism.
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,218 @@
+package capsnet
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/tensor"
+)
+
+// RoutingMode selects how the agreement logits b_ij are scoped.
+type RoutingMode int
+
+const (
+	// RoutePerSample keeps independent routing coefficients per batch
+	// element — the original dynamic routing of Sabour et al., and
+	// the mode the accuracy experiments use.
+	RoutePerSample RoutingMode = iota
+	// RouteBatchShared aggregates the agreement over the whole batch
+	// (Alg. 1 / Eq. 4 of the PIM-CapsNet paper, which batches input
+	// sets "to avoid the local optimal solution of the routing
+	// coefficients"). This is the formulation whose B-dimension
+	// aggregation the in-memory design distributes.
+	RouteBatchShared
+)
+
+// String implements fmt.Stringer.
+func (m RoutingMode) String() string {
+	switch m {
+	case RoutePerSample:
+		return "per-sample"
+	case RouteBatchShared:
+		return "batch-shared"
+	}
+	return fmt.Sprintf("RoutingMode(%d)", int(m))
+}
+
+// RoutingResult carries the outputs of a routing-procedure run: the
+// high-level capsules v (shape B×H×CH) and the final routing
+// coefficients c (shape B×L×H; under RouteBatchShared every batch
+// slice holds the same shared coefficients).
+type RoutingResult struct {
+	V *tensor.Tensor // B×H×CH high-level capsules (Eq. 3 outputs)
+	C *tensor.Tensor // B×L×H routing coefficients after the last iteration
+	B *tensor.Tensor // B×L×H accumulated agreement logits
+}
+
+// DynamicRouting executes the dynamic routing procedure on
+// precomputed prediction vectors û of shape B×L×H×CH for the given
+// number of iterations, using mathOps for the special functions, with
+// per-sample coefficients (Sabour et al.).
+func DynamicRouting(preds *tensor.Tensor, iterations int, mathOps RoutingMath) RoutingResult {
+	return DynamicRoutingMode(preds, iterations, mathOps, RoutePerSample)
+}
+
+// DynamicRoutingShared executes Algorithm 1 exactly as the PIM-CapsNet
+// paper states it, with the agreement of Eq. 4 accumulated over all
+// input sets k.
+func DynamicRoutingShared(preds *tensor.Tensor, iterations int, mathOps RoutingMath) RoutingResult {
+	return DynamicRoutingMode(preds, iterations, mathOps, RouteBatchShared)
+}
+
+// DynamicRoutingMode is the general entry point. Per iteration it
+// performs, exactly as the paper's Fig. 3 flow:
+//
+//	c_ij ← softmax_j(b_ij)                 (Eq. 5, step 6)
+//	s_j^k ← Σ_i û_j|i^k · c_ij             (Eq. 2, step 2)
+//	v_j^k ← squash(s_j^k)                  (Eq. 3, step 3)
+//	b_ij ← Σ_k v_j^k · û_j|i^k + b_ij      (Eq. 4, steps 4–5)
+//
+// where the Σ_k of Eq. 4 spans the batch under RouteBatchShared and a
+// single sample under RoutePerSample. The agreement update is skipped
+// after the final iteration (it would only feed a next iteration that
+// never runs), matching reference implementations.
+func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMath, mode RoutingMode) RoutingResult {
+	if preds.Rank() != 4 {
+		panic(fmt.Sprintf("capsnet: DynamicRouting wants B×L×H×CH predictions, got %v", preds.Shape()))
+	}
+	if iterations < 1 {
+		panic("capsnet: DynamicRouting needs at least one iteration")
+	}
+	nb, nl, nh, ch := preds.Dim(0), preds.Dim(1), preds.Dim(2), preds.Dim(3)
+	b := tensor.New(nb, nl, nh)
+	c := tensor.New(nb, nl, nh)
+	v := tensor.New(nb, nh, ch)
+	s := tensor.New(nb, nh, ch)
+	pd := preds.Data()
+	bd, cd, vd, sd := b.Data(), c.Data(), v.Data(), s.Data()
+
+	// sharedB aliases sample 0's logits when coefficients are shared.
+	sharedB := bd[:nl*nh]
+
+	for it := 0; it < iterations; it++ {
+		// Step 4/6: routing coefficients from agreement logits.
+		if mode == RouteBatchShared {
+			softmaxRows(mathOps, cd[:nl*nh], sharedB, nl, nh)
+			for k := 1; k < nb; k++ {
+				copy(cd[k*nl*nh:(k+1)*nl*nh], cd[:nl*nh])
+			}
+		} else {
+			for k := 0; k < nb; k++ {
+				softmaxRows(mathOps, cd[k*nl*nh:(k+1)*nl*nh], bd[k*nl*nh:(k+1)*nl*nh], nl, nh)
+			}
+		}
+
+		// Step 5 (Eq. 2) + Step 6 (Eq. 3): weighted aggregation over L
+		// capsules and squash, parallel over the batch (each k writes
+		// disjoint s/v slices, so results are identical to the serial
+		// loop).
+		for i := range sd {
+			sd[i] = 0
+		}
+		parallelFor(nb, func(k int) {
+			base := k * nl * nh * ch
+			sbase := k * nh * ch
+			crow := cd[k*nl*nh : (k+1)*nl*nh]
+			for i := 0; i < nl; i++ {
+				pbase := base + i*nh*ch
+				for j := 0; j < nh; j++ {
+					cij := crow[i*nh+j]
+					if cij == 0 {
+						continue
+					}
+					up := pd[pbase+j*ch : pbase+(j+1)*ch]
+					sp := sd[sbase+j*ch : sbase+(j+1)*ch]
+					for d := 0; d < ch; d++ {
+						sp[d] += cij * up[d]
+					}
+				}
+			}
+			for j := 0; j < nh; j++ {
+				off := (k*nh + j) * ch
+				squashInto(mathOps, vd[off:off+ch], sd[off:off+ch])
+			}
+		})
+
+		if it == iterations-1 {
+			break
+		}
+
+		// Step 7 (Eq. 4): agreement accumulation. Per-sample mode
+		// writes disjoint logit rows and parallelizes; the paper's
+		// batch-shared Σ_k accumulates into one matrix and stays
+		// serial for determinism.
+		agree := func(k int) {
+			base := k * nl * nh * ch
+			vbase := k * nh * ch
+			brow := bd[k*nl*nh : (k+1)*nl*nh]
+			if mode == RouteBatchShared {
+				brow = sharedB
+			}
+			for i := 0; i < nl; i++ {
+				pbase := base + i*nh*ch
+				for j := 0; j < nh; j++ {
+					up := pd[pbase+j*ch : pbase+(j+1)*ch]
+					vp := vd[vbase+j*ch : vbase+(j+1)*ch]
+					var dot float32
+					for d := 0; d < ch; d++ {
+						dot += up[d] * vp[d]
+					}
+					brow[i*nh+j] += dot
+				}
+			}
+		}
+		if mode == RouteBatchShared {
+			for k := 0; k < nb; k++ {
+				agree(k)
+			}
+		} else {
+			parallelFor(nb, agree)
+		}
+	}
+	if mode == RouteBatchShared {
+		for k := 1; k < nb; k++ {
+			copy(bd[k*nl*nh:(k+1)*nl*nh], sharedB)
+		}
+	}
+	return RoutingResult{V: v, C: c, B: b}
+}
+
+// PredictionVectors computes Eq. 1 for a batch: û_j|i^k = u_i^k × W_ij,
+// where u has shape B×L×CL and w has shape L×H×CL×CH. The result has
+// shape B×L×H×CH.
+func PredictionVectors(u, w *tensor.Tensor) *tensor.Tensor {
+	if u.Rank() != 3 {
+		panic(fmt.Sprintf("capsnet: PredictionVectors wants B×L×CL input, got %v", u.Shape()))
+	}
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("capsnet: PredictionVectors wants L×H×CL×CH weights, got %v", w.Shape()))
+	}
+	nb, nl, cl := u.Dim(0), u.Dim(1), u.Dim(2)
+	if w.Dim(0) != nl || w.Dim(2) != cl {
+		panic(fmt.Sprintf("capsnet: weight shape %v incompatible with input %v", w.Shape(), u.Shape()))
+	}
+	nh, ch := w.Dim(1), w.Dim(3)
+	out := tensor.New(nb, nl, nh, ch)
+	ud, wd, od := u.Data(), w.Data(), out.Data()
+	parallelFor(nb, func(k int) {
+		for i := 0; i < nl; i++ {
+			uv := ud[(k*nl+i)*cl : (k*nl+i+1)*cl]
+			wbase := i * nh * cl * ch
+			obase := ((k*nl + i) * nh) * ch
+			for j := 0; j < nh; j++ {
+				wm := wd[wbase+j*cl*ch : wbase+(j+1)*cl*ch]
+				ov := od[obase+j*ch : obase+(j+1)*ch]
+				for d := 0; d < cl; d++ {
+					uvd := uv[d]
+					if uvd == 0 {
+						continue
+					}
+					wrow := wm[d*ch : (d+1)*ch]
+					for e := 0; e < ch; e++ {
+						ov[e] += uvd * wrow[e]
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package capsnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pimcapsnet/internal/tensor"
+)
+
+// netState is the gob wire format of a trained network: the
+// architecture config plus every parameter tensor flattened.
+type netState struct {
+	Config Config
+	// Parameters in fixed order: conv W/b, primary W/b, digit W,
+	// then decoder layer W/b pairs (empty when no decoder).
+	ConvW, PrimaryW, DigitW []float32
+	ConvB, PrimaryB         []float32
+	DecW                    [][]float32
+	DecB                    [][]float32
+}
+
+// Save serializes the network (architecture + all weights) to w. The
+// format is Go-gob based and versioned only by the Config structure;
+// it is intended for checkpointing within this library.
+func (n *Network) Save(w io.Writer) error {
+	st := netState{
+		Config:   n.Config,
+		ConvW:    n.Conv.Weights.Data(),
+		ConvB:    n.Conv.Bias,
+		PrimaryW: n.Primary.Conv.Weights.Data(),
+		PrimaryB: n.Primary.Conv.Bias,
+		DigitW:   n.Digit.Weights.Data(),
+	}
+	if n.Dec != nil {
+		for _, l := range n.Dec.Layers {
+			st.DecW = append(st.DecW, l.Weights.Data())
+			st.DecB = append(st.DecB, l.Bias)
+		}
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Load deserializes a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var st netState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("capsnet: decoding network: %w", err)
+	}
+	n, err := New(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("capsnet: rebuilding network: %w", err)
+	}
+	restore := func(dst *tensor.Tensor, src []float32, what string) error {
+		if len(src) != dst.Len() {
+			return fmt.Errorf("capsnet: %s has %d weights, want %d", what, len(src), dst.Len())
+		}
+		copy(dst.Data(), src)
+		return nil
+	}
+	if err := restore(n.Conv.Weights, st.ConvW, "conv"); err != nil {
+		return nil, err
+	}
+	if err := restore(n.Primary.Conv.Weights, st.PrimaryW, "primary"); err != nil {
+		return nil, err
+	}
+	if err := restore(n.Digit.Weights, st.DigitW, "digit"); err != nil {
+		return nil, err
+	}
+	if len(st.ConvB) != len(n.Conv.Bias) || len(st.PrimaryB) != len(n.Primary.Conv.Bias) {
+		return nil, fmt.Errorf("capsnet: bias length mismatch")
+	}
+	copy(n.Conv.Bias, st.ConvB)
+	copy(n.Primary.Conv.Bias, st.PrimaryB)
+	if n.Dec != nil {
+		if len(st.DecW) != len(n.Dec.Layers) {
+			return nil, fmt.Errorf("capsnet: decoder has %d layers, checkpoint has %d", len(n.Dec.Layers), len(st.DecW))
+		}
+		for i, l := range n.Dec.Layers {
+			if err := restore(l.Weights, st.DecW[i], fmt.Sprintf("decoder[%d]", i)); err != nil {
+				return nil, err
+			}
+			if len(st.DecB[i]) != len(l.Bias) {
+				return nil, fmt.Errorf("capsnet: decoder[%d] bias mismatch", i)
+			}
+			copy(l.Bias, st.DecB[i])
+		}
+	}
+	return n, nil
+}

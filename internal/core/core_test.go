@@ -1,0 +1,349 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/workload"
+)
+
+func TestDesignStrings(t *testing.T) {
+	names := map[Design]string{
+		Baseline: "Baseline", GPUICP: "GPU-ICP", PIMCapsNet: "PIM-CapsNet",
+		PIMIntra: "PIM-Intra", PIMInter: "PIM-Inter", RMASPIM: "RMAS-PIM",
+		RMASGPU: "RMAS-GPU", AllInPIM: "All-in-PIM",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Fatalf("%d → %q, want %q", int(d), d.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Design(99).String(), "Design(") {
+		t.Fatal("unknown design should render numerically")
+	}
+	if len(Designs) != 8 {
+		t.Fatalf("Designs has %d entries, want 8", len(Designs))
+	}
+}
+
+func TestRPSpeedupMatchesPaperShape(t *testing.T) {
+	// Fig. 15a: PIM-CapsNet accelerates the RP by ≈ 2.2× on average
+	// (paper 2.17×, up to 2.27×); our model must stay in the 1.8–3.5
+	// band for every benchmark.
+	e := NewEngine()
+	var avg float64
+	for _, b := range workload.Benchmarks {
+		gpuT, _ := e.RPGPU(b, false)
+		pim := e.RPPIM(b, PIMCapsNet)
+		sp := gpuT / pim.Time
+		if sp < 1.5 || sp > 4.0 {
+			t.Fatalf("%s RP speedup %.2f outside plausible band", b.Name, sp)
+		}
+		avg += sp
+	}
+	avg /= float64(len(workload.Benchmarks))
+	if avg < 1.8 || avg > 3.2 {
+		t.Fatalf("avg RP speedup %.2f, paper reports 2.17", avg)
+	}
+}
+
+func TestRPEnergySaving(t *testing.T) {
+	// Fig. 15b: ≈ 92% energy saving on the RP.
+	e := NewEngine()
+	var avg float64
+	for _, b := range workload.Benchmarks {
+		_, gpuE := e.RPGPU(b, false)
+		pim := e.RPPIM(b, PIMCapsNet)
+		s := 1 - pim.Energy.Total()/gpuE.Total()
+		if s < 0.85 || s > 0.99 {
+			t.Fatalf("%s RP energy saving %.3f implausible", b.Name, s)
+		}
+		avg += s
+	}
+	avg /= float64(len(workload.Benchmarks))
+	if avg < 0.88 || avg > 0.97 {
+		t.Fatalf("avg RP energy saving %.3f, paper reports 0.9218", avg)
+	}
+}
+
+func TestPIMIntraDominatedByCrossbar(t *testing.T) {
+	// Fig. 16a: PIM-Intra achieves a modest speedup (paper 1.22×) and
+	// spends ≈ 45% of its time on inter-vault communication.
+	e := NewEngine()
+	var sp, frac float64
+	for _, b := range workload.Benchmarks {
+		gpuT, _ := e.RPGPU(b, false)
+		intra := e.RPPIM(b, PIMIntra)
+		sp += gpuT / intra.Time
+		frac += intra.Xbar / intra.Time
+	}
+	n := float64(len(workload.Benchmarks))
+	sp /= n
+	frac /= n
+	if sp < 1.0 || sp > 1.8 {
+		t.Fatalf("PIM-Intra avg speedup %.2f, paper reports 1.22", sp)
+	}
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("PIM-Intra crossbar share %.2f, paper reports 0.4524", frac)
+	}
+}
+
+func TestPIMInterDominatedByVRS(t *testing.T) {
+	// Fig. 16a: PIM-Inter performs at or below baseline (paper 0.95×)
+	// with ≈ 58% of time in vault request stalls.
+	e := NewEngine()
+	var sp, frac float64
+	for _, b := range workload.Benchmarks {
+		gpuT, _ := e.RPGPU(b, false)
+		inter := e.RPPIM(b, PIMInter)
+		sp += gpuT / inter.Time
+		frac += inter.VRS / inter.Time
+	}
+	n := float64(len(workload.Benchmarks))
+	sp /= n
+	frac /= n
+	if sp < 0.7 || sp > 1.4 {
+		t.Fatalf("PIM-Inter avg speedup %.2f, paper reports 0.95", sp)
+	}
+	if frac < 0.45 || frac > 0.70 {
+		t.Fatalf("PIM-Inter VRS share %.2f, paper reports 0.5791", frac)
+	}
+}
+
+func TestFullDesignBeatsAblations(t *testing.T) {
+	// Fig. 16a: PIM-CapsNet improves on both partial designs for
+	// every benchmark (paper: +76.6% over Intra, +127.8% over Inter).
+	e := NewEngine()
+	for _, b := range workload.Benchmarks {
+		full := e.RPPIM(b, PIMCapsNet).Time
+		intra := e.RPPIM(b, PIMIntra).Time
+		inter := e.RPPIM(b, PIMInter).Time
+		if full >= intra || full >= inter {
+			t.Fatalf("%s: full design (%.3fms) not fastest (intra %.3f, inter %.3f)",
+				b.Name, full*1e3, intra*1e3, inter*1e3)
+		}
+	}
+}
+
+func TestOverallSpeedupAndEnergy(t *testing.T) {
+	// Fig. 17: overall speedup ≈ 2.4× (ours runs slightly optimistic;
+	// see EXPERIMENTS.md) and ≈ 65% energy saving.
+	e := NewEngine()
+	var sp, sv float64
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, Baseline)
+		pim := e.Inference(b, PIMCapsNet)
+		s := Speedup(base, pim)
+		if s < 1.8 || s > 4.5 {
+			t.Fatalf("%s overall speedup %.2f implausible", b.Name, s)
+		}
+		sp += s
+		sv += EnergySaving(base, pim)
+	}
+	n := float64(len(workload.Benchmarks))
+	if sp/n < 2.0 || sp/n > 3.6 {
+		t.Fatalf("avg overall speedup %.2f, paper reports 2.44", sp/n)
+	}
+	if sv/n < 0.55 || sv/n > 0.75 {
+		t.Fatalf("avg overall energy saving %.3f, paper reports 0.6491", sv/n)
+	}
+}
+
+func TestOverallBeatsRPOnly(t *testing.T) {
+	// Pipelining makes the whole-network speedup exceed the RP-only
+	// speedup (paper: 2.44× vs 2.17×).
+	e := NewEngine()
+	var overall, rpOnly float64
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, Baseline)
+		pim := e.Inference(b, PIMCapsNet)
+		overall += Speedup(base, pim)
+		gpuT, _ := e.RPGPU(b, false)
+		rpOnly += gpuT / e.RPPIM(b, PIMCapsNet).Time
+	}
+	if overall <= rpOnly {
+		t.Fatalf("pipelined overall speedup (%.2f avg) should exceed RP-only (%.2f avg)",
+			overall/12, rpOnly/12)
+	}
+}
+
+func TestAllInPIMSlowerButEfficient(t *testing.T) {
+	// Fig. 17: All-in-PIM halves performance (paper 0.52×) yet saves
+	// most of the energy (paper 71.09%).
+	e := NewEngine()
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, Baseline)
+		all := e.Inference(b, AllInPIM)
+		sp := Speedup(base, all)
+		if sp > 1.3 {
+			t.Fatalf("%s All-in-PIM speedup %.2f — should not beat the GPU broadly", b.Name, sp)
+		}
+		if sav := EnergySaving(base, all); sav < 0.3 {
+			t.Fatalf("%s All-in-PIM energy saving %.3f too low", b.Name, sav)
+		}
+	}
+}
+
+func TestRMASBeatsNaiveSchedulers(t *testing.T) {
+	// Fig. 17: the full design (RMAS) outperforms RMAS-PIM and
+	// RMAS-GPU on every benchmark.
+	e := NewEngine()
+	for _, b := range workload.Benchmarks {
+		pim := e.Inference(b, PIMCapsNet)
+		rpim := e.Inference(b, RMASPIM)
+		rgpu := e.Inference(b, RMASGPU)
+		if pim.Total > rpim.Total || pim.Total > rgpu.Total {
+			t.Fatalf("%s: PIM-CapsNet (%.3fs) lost to a naive scheduler (pim %.3f, gpu %.3f)",
+				b.Name, pim.Total, rpim.Total, rgpu.Total)
+		}
+	}
+}
+
+func TestGPUICPBarelyHelpsOverall(t *testing.T) {
+	e := NewEngine()
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, Baseline)
+		icp := e.Inference(b, GPUICP)
+		sp := Speedup(base, icp)
+		if sp < 1.0 || sp > 1.05 {
+			t.Fatalf("%s GPU-ICP speedup %.4f, paper reports ≈1.01", b.Name, sp)
+		}
+	}
+}
+
+func TestScalabilityWithNetworkSize(t *testing.T) {
+	// §6.2.1: PIM-CapsNet's RP speedup grows with network size
+	// (Caps-EN3 vs Caps-SV1 in the paper: 2.27× vs 2.09×).
+	e := NewEngine()
+	sv1, _ := workload.ByName("Caps-SV1")
+	en3, _ := workload.ByName("Caps-EN3")
+	spSV := func() float64 {
+		g, _ := e.RPGPU(sv1, false)
+		return g / e.RPPIM(sv1, PIMCapsNet).Time
+	}()
+	spEN := func() float64 {
+		g, _ := e.RPGPU(en3, false)
+		return g / e.RPPIM(en3, PIMCapsNet).Time
+	}()
+	if spEN <= spSV {
+		t.Fatalf("speedup should scale with network size: EN3 %.2f vs SV1 %.2f", spEN, spSV)
+	}
+}
+
+func TestForceDimOverridesDistributor(t *testing.T) {
+	e := NewEngine()
+	b, _ := workload.ByName("Caps-MN1")
+	for _, d := range distribute.Dimensions {
+		dim := d
+		e.ForceDim = &dim
+		res := e.RPPIM(b, PIMCapsNet)
+		if res.Dim != d {
+			t.Fatalf("forced %v but got %v", d, res.Dim)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("dimension %v produced non-positive time", d)
+		}
+	}
+	e.ForceDim = nil
+	// The distributor's pick must be at least as good as any forced
+	// dimension up to the E/M model's fidelity (allow 25% slack for
+	// effects the score does not see, like bank behaviour).
+	best := e.RPPIM(b, PIMCapsNet)
+	for _, d := range distribute.Dimensions {
+		dim := d
+		e.ForceDim = &dim
+		forced := e.RPPIM(b, PIMCapsNet)
+		if forced.Time < best.Time*0.75 {
+			t.Fatalf("distributor picked %v (%.3fms) but %v is much faster (%.3fms)",
+				best.Dim, best.Time*1e3, d, forced.Time*1e3)
+		}
+	}
+}
+
+func TestRPResultComponentsSumToTime(t *testing.T) {
+	e := NewEngine()
+	for _, d := range []Design{PIMCapsNet, PIMIntra, PIMInter} {
+		for _, b := range workload.Benchmarks[:4] {
+			r := e.RPPIM(b, d)
+			sum := r.Exec + r.VRS + r.Xbar
+			if diff := sum - r.Time; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%v/%s components %.6f != time %.6f", d, b.Name, sum, r.Time)
+			}
+		}
+	}
+}
+
+func TestFrequencyScalingImprovesRP(t *testing.T) {
+	// Fig. 18: higher PE frequency improves the routing procedure.
+	e := NewEngine()
+	b, _ := workload.ByName("Caps-MN1")
+	base := e.RPPIM(b, PIMCapsNet).Time
+	e.HMC = e.HMC.WithClock(937.5e6)
+	fast := e.RPPIM(b, PIMCapsNet).Time
+	if fast >= base {
+		t.Fatalf("3× clock did not improve RP: %.3fms vs %.3fms", fast*1e3, base*1e3)
+	}
+}
+
+func TestInferencePanicsOnUnknownDesign(t *testing.T) {
+	e := NewEngine()
+	b, _ := workload.ByName("Caps-MN1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Inference(b, Design(42))
+}
+
+// TestHighFidelityAgreesWithWindowModel cross-validates the two vault
+// simulators at the engine level: the event-driven model must land
+// within 15% of the fast window model on RP time for both the full
+// design and the bank-conflicted ablation.
+func TestHighFidelityAgreesWithWindowModel(t *testing.T) {
+	fast := NewEngine()
+	des := NewEngine()
+	des.HighFidelity = true
+	for _, name := range []string{"Caps-MN1", "Caps-EN2"} {
+		b, _ := workload.ByName(name)
+		for _, d := range []Design{PIMCapsNet, PIMInter} {
+			a := fast.RPPIM(b, d).Time
+			h := des.RPPIM(b, d).Time
+			ratio := a / h
+			if ratio < 0.85 || ratio > 1.18 {
+				t.Fatalf("%s/%v: window %.3fms vs DES %.3fms (ratio %.2f)", name, d, a*1e3, h*1e3, ratio)
+			}
+		}
+	}
+}
+
+func TestEMRPPIMHeavierThanDynamic(t *testing.T) {
+	// EM routing fits Gaussians per iteration: more operations, more
+	// vote-tensor passes, more time — but the same order of magnitude
+	// (the design is algorithm-agnostic, §4).
+	e := NewEngine()
+	for _, b := range workload.Benchmarks {
+		dr := e.RPPIM(b, PIMCapsNet)
+		em := e.EMRPPIM(b, PIMCapsNet)
+		if em.PEOps <= dr.PEOps {
+			t.Fatalf("%s: EM ops %.3g not above DR ops %.3g", b.Name, em.PEOps, dr.PEOps)
+		}
+		if em.DRAMBytes <= dr.DRAMBytes {
+			t.Fatalf("%s: EM traffic %.3g not above DR traffic %.3g", b.Name, em.DRAMBytes, dr.DRAMBytes)
+		}
+		if em.Time <= dr.Time || em.Time > 3*dr.Time {
+			t.Fatalf("%s: EM time %.3fms vs DR %.3fms outside (1, 3]× band", b.Name, em.Time*1e3, dr.Time*1e3)
+		}
+	}
+}
+
+func TestRPPIMDeterministic(t *testing.T) {
+	e := NewEngine()
+	b, _ := workload.ByName("Caps-CF2")
+	a := e.RPPIM(b, PIMCapsNet)
+	c := e.RPPIM(b, PIMCapsNet)
+	if a.Time != c.Time || a.Energy != c.Energy {
+		t.Fatal("RPPIM is not deterministic")
+	}
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/core"
+	"pimcapsnet/internal/workload"
+)
+
+// ExampleEngine_Inference compares the baseline GPU with PIM-CapsNet
+// on a Table 1 benchmark.
+func ExampleEngine_Inference() {
+	e := core.NewEngine()
+	b, _ := workload.ByName("Caps-MN1")
+	base := e.Inference(b, core.Baseline)
+	pim := e.Inference(b, core.PIMCapsNet)
+	fmt.Printf("speedup > 2x: %v\n", core.Speedup(base, pim) > 2)
+	fmt.Printf("energy saving > 50%%: %v\n", core.EnergySaving(base, pim) > 0.5)
+	// Output:
+	// speedup > 2x: true
+	// energy saving > 50%: true
+}
+
+// ExampleEngine_RPPIM decomposes the in-memory routing time.
+func ExampleEngine_RPPIM() {
+	e := core.NewEngine()
+	b, _ := workload.ByName("Caps-SV1")
+	r := e.RPPIM(b, core.PIMCapsNet)
+	fmt.Printf("components sum to total: %v\n", r.Exec+r.VRS+r.Xbar == r.Time)
+	fmt.Printf("distribution dimension: %v\n", r.Dim)
+	// Output:
+	// components sum to total: true
+	// distribution dimension: L
+}

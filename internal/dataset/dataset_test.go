@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestPredefinedSpecs(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		classes int
+		ch      int
+	}{
+		{MNISTLike(), 10, 1},
+		{CIFAR10Like(), 10, 3},
+		{EMNISTLettersLike(), 26, 1},
+		{EMNISTBalancedLike(), 47, 1},
+		{EMNISTByClassLike(), 62, 1},
+		{SVHNLike(), 10, 3},
+	}
+	for _, c := range cases {
+		if c.spec.Classes != c.classes || c.spec.Channels != c.ch {
+			t.Fatalf("%s: classes=%d channels=%d, want %d/%d", c.spec.Name, c.spec.Classes, c.spec.Channels, c.classes, c.ch)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"MNIST", "CIFAR10", "EMNIST Letter", "EMNIST Balanced", "EMNIST By Class", "SVHN"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("imagenet"); err == nil {
+		t.Fatal("ByName must reject unknown datasets")
+	}
+}
+
+func TestGenerateShapesAndRange(t *testing.T) {
+	g := NewGenerator(Tiny(4))
+	ds := g.Generate(20)
+	sh := ds.Images.Shape()
+	if sh[0] != 20 || sh[1] != 1 || sh[2] != 12 || sh[3] != 12 {
+		t.Fatalf("shape %v", sh)
+	}
+	for i, v := range ds.Images.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d = %v outside [0,1]", i, v)
+		}
+	}
+	for i, l := range ds.Labels {
+		if l != i%4 {
+			t.Fatalf("label %d = %d, want cycling", i, l)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(Tiny(3)).Generate(9)
+	b := NewGenerator(Tiny(3)).Generate(9)
+	if !a.Images.Equal(b.Images) {
+		t.Fatal("same seed must generate identical data")
+	}
+}
+
+func TestClassesAreSeparated(t *testing.T) {
+	// Same-class samples must be closer to their prototype than to
+	// other prototypes on average — the learnability property the
+	// accuracy experiments rely on.
+	g := NewGenerator(Tiny(3))
+	ds := g.Generate(30)
+	imgLen := 12 * 12
+	centroids := make([][]float32, 3)
+	counts := make([]int, 3)
+	for c := range centroids {
+		centroids[c] = make([]float32, imgLen)
+	}
+	for i, l := range ds.Labels {
+		img := ds.Images.Data()[i*imgLen : (i+1)*imgLen]
+		for p, v := range img {
+			centroids[l][p] += v
+		}
+		counts[l]++
+	}
+	for c := range centroids {
+		for p := range centroids[c] {
+			centroids[c][p] /= float32(counts[c])
+		}
+	}
+	correct := 0
+	for i, l := range ds.Labels {
+		img := ds.Images.Data()[i*imgLen : (i+1)*imgLen]
+		best, bestD := -1, float32(1e30)
+		for c := range centroids {
+			var d float32
+			for p := range img {
+				diff := img[p] - centroids[c][p]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == l {
+			correct++
+		}
+	}
+	if correct < 25 {
+		t.Fatalf("nearest-centroid only classifies %d/30 — classes not separated", correct)
+	}
+}
+
+func TestGenerateShuffledCoversClasses(t *testing.T) {
+	g := NewGenerator(Tiny(4))
+	ds := g.GenerateShuffled(200)
+	seen := map[int]bool{}
+	for _, l := range ds.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d classes seen in 200 shuffled samples", len(seen))
+	}
+}
+
+func TestSampleWritesFullImage(t *testing.T) {
+	g := NewGenerator(Tiny(2))
+	buf := make([]float32, 12*12)
+	g.Sample(buf, 1)
+	nonzero := 0
+	for _, v := range buf {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 100 {
+		t.Fatalf("sample appears mostly empty (%d nonzero)", nonzero)
+	}
+}

@@ -1,0 +1,182 @@
+// Package des is a small deterministic discrete-event simulation
+// engine: a time-ordered event queue plus FIFO resources with
+// waiting-time accounting. internal/hmc builds its high-fidelity
+// vault model on it, cross-validating the fast window simulator that
+// internal/core scales to full workloads.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns simulated time and the pending event queue.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	serial uint64 // tie-breaker: same-time events fire in schedule order
+	fired  uint64
+}
+
+// New returns an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns how many events have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn at absolute time t (panics if t is in the past).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.queue, &event{at: t, seq: e.serial, fn: fn})
+	e.serial++
+}
+
+// After schedules fn d time units from now (d must be ≥ 0).
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ t, then sets now = t.
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource is a FIFO server pool: Capacity concurrent holders,
+// additional requesters queue in arrival order.
+type Resource struct {
+	eng      *Engine
+	Name     string
+	Capacity int
+
+	busy    int
+	waiters []*request
+
+	// Stats.
+	TotalWait    float64 // summed queueing delay
+	TotalService float64 // summed holding time
+	Served       uint64
+	PeakQueue    int
+}
+
+type request struct {
+	arrived float64
+	fn      func(release func())
+}
+
+// NewResource attaches a resource with the given capacity to the
+// engine.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("des: resource %q capacity %d must be positive", name, capacity))
+	}
+	return &Resource{eng: eng, Name: name, Capacity: capacity}
+}
+
+// Acquire requests the resource; fn runs (possibly later) once a slot
+// is free and receives a release callback it must invoke exactly once
+// when done holding the slot.
+func (r *Resource) Acquire(fn func(release func())) {
+	req := &request{arrived: r.eng.Now(), fn: fn}
+	if r.busy < r.Capacity {
+		r.grant(req)
+		return
+	}
+	r.waiters = append(r.waiters, req)
+	if len(r.waiters) > r.PeakQueue {
+		r.PeakQueue = len(r.waiters)
+	}
+}
+
+func (r *Resource) grant(req *request) {
+	r.busy++
+	r.Served++
+	r.TotalWait += r.eng.Now() - req.arrived
+	start := r.eng.Now()
+	released := false
+	req.fn(func() {
+		if released {
+			panic(fmt.Sprintf("des: double release of %q", r.Name))
+		}
+		released = true
+		r.TotalService += r.eng.Now() - start
+		r.busy--
+		if len(r.waiters) > 0 {
+			next := r.waiters[0]
+			r.waiters = r.waiters[1:]
+			r.grant(next)
+		}
+	})
+}
+
+// Utilization returns the mean busy fraction over [0, now] for a
+// single-capacity resource (TotalService / (now·Capacity)).
+func (r *Resource) Utilization() float64 {
+	t := r.eng.Now()
+	if t == 0 {
+		return 0
+	}
+	return r.TotalService / (t * float64(r.Capacity))
+}
+
+// MeanWait returns the average queueing delay per granted request.
+func (r *Resource) MeanWait() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return r.TotalWait / float64(r.Served)
+}

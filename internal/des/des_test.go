@@ -1,0 +1,167 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []float64
+	e.After(2, func() {
+		hits = append(hits, e.Now())
+		e.After(3, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 5 {
+		t.Fatalf("hits %v", hits)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("fired %d", e.Fired())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 || e.Now() != 5 {
+		t.Fatalf("fired %d at %v", fired, e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d after Run", fired)
+	}
+}
+
+func TestResourceSerializesDeterministically(t *testing.T) {
+	// 4 jobs of 2 time units each on a capacity-1 server, all
+	// arriving at t=0: completion at 2,4,6,8; waits 0,2,4,6.
+	e := New()
+	r := NewResource(e, "srv", 1)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		r.Acquire(func(release func()) {
+			e.After(2, func() {
+				done = append(done, e.Now())
+				release()
+			})
+		})
+	}
+	e.Run()
+	want := []float64{2, 4, 6, 8}
+	for i, v := range done {
+		if v != want[i] {
+			t.Fatalf("done %v", done)
+		}
+	}
+	if r.MeanWait() != 3 { // (0+2+4+6)/4
+		t.Fatalf("mean wait %v", r.MeanWait())
+	}
+	if r.Utilization() != 1 {
+		t.Fatalf("utilization %v", r.Utilization())
+	}
+	if r.PeakQueue != 3 {
+		t.Fatalf("peak queue %d", r.PeakQueue)
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	// Capacity 2: 4 jobs of 2 units finish at 2,2,4,4.
+	e := New()
+	r := NewResource(e, "srv", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		r.Acquire(func(release func()) {
+			e.After(2, func() {
+				done = append(done, e.Now())
+				release()
+			})
+		})
+	}
+	e.Run()
+	if e.Now() != 4 {
+		t.Fatalf("makespan %v, want 4", e.Now())
+	}
+	if r.Utilization() != 1 {
+		t.Fatalf("utilization %v", r.Utilization())
+	}
+	_ = done
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	e := New()
+	r := NewResource(e, "srv", 1)
+	var rel func()
+	r.Acquire(func(release func()) { rel = release })
+	e.Run()
+	rel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	rel()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(New(), "bad", 0)
+}

@@ -1,0 +1,272 @@
+package distribute
+
+import (
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/hmc"
+	"pimcapsnet/internal/workload"
+)
+
+func mn1Params(t *testing.T) Params {
+	t.Helper()
+	b, err := workload.ByName("Caps-MN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromBenchmark(b, hmc.DefaultConfig())
+}
+
+func TestTable2(t *testing.T) {
+	want := map[workload.RPEquation][]Dimension{
+		workload.EqPrediction:  {DimB, DimL, DimH},
+		workload.EqWeightedSum: {DimB, DimH},
+		workload.EqSquash:      {DimB, DimH},
+		workload.EqAgreement:   {DimL, DimH},
+		workload.EqSoftmax:     {DimL},
+	}
+	for eq, dims := range want {
+		got := ParallelizableDims(eq)
+		if len(got) != len(dims) {
+			t.Fatalf("%v: dims %v, want %v", eq, got, dims)
+		}
+		for i := range dims {
+			if got[i] != dims[i] {
+				t.Fatalf("%v: dims %v, want %v", eq, got, dims)
+			}
+		}
+	}
+	// Observation II: no dimension parallelizes every equation.
+	for _, d := range Dimensions {
+		all := true
+		for _, eq := range []workload.RPEquation{workload.EqPrediction, workload.EqWeightedSum,
+			workload.EqSquash, workload.EqAgreement, workload.EqSoftmax} {
+			if !CanParallelize(eq, d) {
+				all = false
+				break
+			}
+		}
+		if all {
+			t.Fatalf("dimension %v parallelizes every equation — contradicts Observation II", d)
+		}
+	}
+}
+
+func TestFromBenchmark(t *testing.T) {
+	p := mn1Params(t)
+	if p.NB != 100 || p.NL != 1152 || p.NH != 10 || p.I != 3 || p.NVault != 32 {
+		t.Fatalf("params %+v", p)
+	}
+	if p.SizeVar != 4 || p.SizePkt != 16 {
+		t.Fatalf("sizes %v/%v", p.SizeVar, p.SizePkt)
+	}
+}
+
+func TestEMatchesClosedForms(t *testing.T) {
+	p := mn1Params(t)
+	// Eq. 7: ceil(100/32)·1152·10·((4·3−1)·16 + 2·8·16 − 3).
+	wantB := 4.0 * 1152 * 10 * ((11 * 16) + 256 - 3)
+	if got := p.E(DimB); got != wantB {
+		t.Fatalf("E_B = %v, want %v", got, wantB)
+	}
+	// Eq. 9: 100·ceil(1152/32)·10·(2·3·31 + 16·15).
+	wantL := 100.0 * 36 * 10 * (186 + 240)
+	if got := p.E(DimL); got != wantL {
+		t.Fatalf("E_L = %v, want %v", got, wantL)
+	}
+	// Eq. 11: 100·1152·ceil(10/32)·16·(15 + 6).
+	wantH := 100.0 * 1152 * 1 * 16 * 21
+	if got := p.E(DimH); got != wantH {
+		t.Fatalf("E_H = %v, want %v", got, wantH)
+	}
+}
+
+func TestMMatchesClosedForms(t *testing.T) {
+	p := mn1Params(t)
+	// Eq. 8: 3·2·31·1152·10·(4+16).
+	wantB := 3.0 * 2 * 31 * 1152 * 10 * 20
+	if got := p.M(DimB); got != wantB {
+		t.Fatalf("M_B = %v, want %v", got, wantB)
+	}
+	// Eq. 10: 3·2·100·31·10·(64+16).
+	wantL := 3.0 * 2 * 100 * 31 * 10 * 80
+	if got := p.M(DimL); got != wantL {
+		t.Fatalf("M_L = %v, want %v", got, wantL)
+	}
+	// Eq. 12: 3·(31·1152·20 + 1152·20).
+	wantH := 3.0 * (31*1152*20 + 1152*20)
+	if got := p.M(DimH); got != wantH {
+		t.Fatalf("M_H = %v, want %v", got, wantH)
+	}
+}
+
+func TestHDimensionMinimizesCommunicationForMN1(t *testing.T) {
+	// For Caps-MN1, H-dimension communication (scalar b/c rows) is far
+	// below L-dimension (per-batch s/v vectors).
+	p := mn1Params(t)
+	if !(p.M(DimH) < p.M(DimB) && p.M(DimH) < p.M(DimL)) {
+		t.Fatalf("M: B=%v L=%v H=%v — H should be smallest", p.M(DimB), p.M(DimL), p.M(DimH))
+	}
+}
+
+func TestSnippetsCounts(t *testing.T) {
+	p := mn1Params(t)
+	if p.Snippets(DimB) != 100 || p.Snippets(DimL) != 1152 || p.Snippets(DimH) != 10 {
+		t.Fatal("snippet counts must equal the dimension extents")
+	}
+	// Typical workloads generate far more snippets than vaults
+	// (§5.1.2) — true for B and L here.
+	if p.Snippets(DimB) < p.NVault || p.Snippets(DimL) < p.NVault {
+		t.Fatal("B/L snippets should exceed the vault count")
+	}
+}
+
+func TestScorerPrefersLowCost(t *testing.T) {
+	p := mn1Params(t)
+	s := NewScorer(hmc.DefaultConfig())
+	best := s.Best(p)
+	// The best choice must indeed have the max score.
+	for _, c := range s.Evaluate(p) {
+		if c.Score > best.Score {
+			t.Fatalf("Best returned %v but %v scores higher", best.Dim, c.Dim)
+		}
+	}
+	if best.Score <= 0 {
+		t.Fatal("scores must be positive")
+	}
+}
+
+func TestScoreTradeoffRespondsToCoefficients(t *testing.T) {
+	// With communication made free (β=0), the dimension with minimal
+	// E must win; with compute free (α=0), minimal M must win.
+	p := mn1Params(t)
+	eOnly := Scorer{Alpha: 1, Beta: 0}
+	bestE := eOnly.Best(p)
+	for _, d := range Dimensions {
+		if p.E(d) < p.E(bestE.Dim) {
+			t.Fatalf("β=0 should pick min-E dimension; got %v, %v is smaller", bestE.Dim, d)
+		}
+	}
+	mOnly := Scorer{Alpha: 0, Beta: 1}
+	bestM := mOnly.Best(p)
+	for _, d := range Dimensions {
+		if p.M(d) < p.M(bestM.Dim) {
+			t.Fatalf("α=0 should pick min-M dimension; got %v, %v is smaller", bestM.Dim, d)
+		}
+	}
+}
+
+func TestFrequencyShiftsDimensionChoice(t *testing.T) {
+	// Fig. 18's key observation: the best dimension can change with PE
+	// frequency (higher clock shrinks α, weighting communication
+	// more). Verify the mechanism: scores of different dimensions
+	// reorder somewhere across the sweep for at least one benchmark.
+	cfg := hmc.DefaultConfig()
+	changed := false
+	for _, b := range workload.Benchmarks {
+		p := FromBenchmark(b, cfg)
+		d1 := NewScorer(cfg.WithClock(312.5e6)).Best(p).Dim
+		d3 := NewScorer(cfg.WithClock(937.5e6)).Best(p).Dim
+		if d1 != d3 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Log("no dimension flip across frequency sweep — checking ratios shift at least")
+		p := FromBenchmark(workload.Benchmarks[0], cfg)
+		s1 := NewScorer(cfg.WithClock(312.5e6))
+		s3 := NewScorer(cfg.WithClock(937.5e6))
+		r1 := s1.Score(p, DimB) / s1.Score(p, DimH)
+		r3 := s3.Score(p, DimB) / s3.Score(p, DimH)
+		if r1 == r3 {
+			t.Fatal("frequency scaling must change the relative scores of dimensions")
+		}
+	}
+}
+
+func TestEScalesDownWithVaults(t *testing.T) {
+	b, _ := workload.ByName("Caps-CF3")
+	cfg := hmc.DefaultConfig()
+	p32 := FromBenchmark(b, cfg)
+	cfg16 := cfg
+	cfg16.Vaults = 16
+	p16 := FromBenchmark(b, cfg16)
+	for _, d := range []Dimension{DimB, DimL} {
+		if p32.E(d) >= p16.E(d) {
+			t.Fatalf("dim %v: 32 vaults should reduce per-vault work", d)
+		}
+	}
+	// H has only 11 snippets for CF3 — ceil(11/16) = ceil(11/32) = 1,
+	// so more vaults cannot help (the under-parallelized case §5.2.1
+	// re-dimensions around).
+	if p32.E(DimH) != p16.E(DimH) {
+		t.Fatal("H-dimension per-vault work should saturate below vault count")
+	}
+}
+
+func TestDimensionString(t *testing.T) {
+	if DimB.String() != "B" || DimL.String() != "L" || DimH.String() != "H" {
+		t.Fatal("dimension names wrong")
+	}
+	if !strings.HasPrefix(Dimension(9).String(), "Dimension(") {
+		t.Fatal("unknown dimension should render numerically")
+	}
+}
+
+func TestEMPositiveForAllBenchmarks(t *testing.T) {
+	// Property: E and M are strictly positive and finite for every
+	// Table 1 benchmark and dimension.
+	cfg := hmc.DefaultConfig()
+	for _, b := range workload.Benchmarks {
+		p := FromBenchmark(b, cfg)
+		for _, d := range Dimensions {
+			if e := p.E(d); e <= 0 || e != e {
+				t.Fatalf("%s E(%v) = %v", b.Name, d, e)
+			}
+			if m := p.M(d); m <= 0 || m != m {
+				t.Fatalf("%s M(%v) = %v", b.Name, d, m)
+			}
+		}
+	}
+}
+
+func TestEMMonotoneInIterations(t *testing.T) {
+	// Property: more routing iterations never reduce per-vault work
+	// or communication on any dimension.
+	base := mn1Params(t)
+	more := base
+	more.I = base.I + 3
+	for _, d := range Dimensions {
+		if more.E(d) < base.E(d) {
+			t.Fatalf("E(%v) decreased with iterations", d)
+		}
+		if more.M(d) < base.M(d) {
+			t.Fatalf("M(%v) decreased with iterations", d)
+		}
+	}
+}
+
+func TestMBGrowsWithVaults(t *testing.T) {
+	// Eq. 8/10: B- and L-dimension communication scales with the
+	// (Nvault−1) gather/scatter fan; H-dimension's broadcast term too.
+	base := mn1Params(t)
+	more := base
+	more.NVault = base.NVault * 2
+	for _, d := range Dimensions {
+		if more.M(d) <= base.M(d) {
+			t.Fatalf("M(%v) did not grow with vault count", d)
+		}
+	}
+}
+
+func TestScoreScalesInverselyWithCost(t *testing.T) {
+	p := mn1Params(t)
+	s := NewScorer(hmc.DefaultConfig())
+	for _, d := range Dimensions {
+		want := 1 / (s.Alpha*p.E(d) + s.Beta*p.M(d))
+		if got := s.Score(p, d); got != want {
+			t.Fatalf("Score(%v) = %v, want %v", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package distribute_test
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/hmc"
+	"pimcapsnet/internal/workload"
+)
+
+// ExampleScorer_Best runs the intelligent workload distributor for a
+// Table 1 benchmark.
+func ExampleScorer_Best() {
+	cfg := hmc.DefaultConfig()
+	b, _ := workload.ByName("Caps-EN3")
+	p := distribute.FromBenchmark(b, cfg)
+	best := distribute.NewScorer(cfg).Best(p)
+	fmt.Println("chosen dimension:", best.Dim)
+	fmt.Println("snippets:", p.Snippets(best.Dim))
+	// Output:
+	// chosen dimension: H
+	// snippets: 62
+}
+
+// ExampleCanParallelize checks Table 2 for the softmax equation.
+func ExampleCanParallelize() {
+	fmt.Println(distribute.CanParallelize(workload.EqSoftmax, distribute.DimL))
+	fmt.Println(distribute.CanParallelize(workload.EqSoftmax, distribute.DimB))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,104 @@
+// Package energy models the power and energy accounting of both sides
+// of PIM-CapsNet: the host GPU (static power plus per-FLOP and
+// per-byte dynamic energy) and the HMC (DRAM background and logic
+// power plus per-access dynamic energies for DRAM, crossbar, external
+// links and PE operations). The constants are first-order literature
+// values calibrated so the baseline/PIM ratios track the paper's
+// Figs. 15b–17b; see EXPERIMENTS.md.
+package energy
+
+// GPUParams models the host GPU's energy behaviour.
+type GPUParams struct {
+	// StaticW is the always-on power while the GPU is active
+	// (leakage, clocks, fans attributable to the accelerator).
+	StaticW float64
+	// IdleW is the power while the GPU waits (e.g. for the HMC in an
+	// unpipelined design).
+	IdleW float64
+	// PJPerFLOP and PJPerByte are dynamic energies.
+	PJPerFLOP, PJPerByte float64
+}
+
+// DefaultGPU returns Tesla-P100-class parameters.
+func DefaultGPU() GPUParams {
+	return GPUParams{StaticW: 95, IdleW: 30, PJPerFLOP: 9, PJPerByte: 31}
+}
+
+// HMCParams models the cube's energy behaviour.
+type HMCParams struct {
+	// StaticW is the cube background power (DRAM refresh, SerDes,
+	// controllers); LogicW the added PIM logic power (§6.5: 2.24 W).
+	StaticW, LogicW float64
+	// Dynamic energies per unit.
+	PJPerPEOp, PJPerDRAMByte, PJPerXbarByte, PJPerExtByte float64
+}
+
+// DefaultHMC returns HMC-Gen3-class parameters.
+func DefaultHMC() HMCParams {
+	return HMCParams{
+		StaticW: 12, LogicW: 2.24,
+		PJPerPEOp: 6, PJPerDRAMByte: 20, PJPerXbarByte: 3, PJPerExtByte: 60,
+	}
+}
+
+// Breakdown decomposes a phase's energy in joules.
+type Breakdown struct {
+	Static, Compute, DRAM, Crossbar, External float64
+}
+
+// Total returns the phase energy.
+func (b Breakdown) Total() float64 {
+	return b.Static + b.Compute + b.DRAM + b.Crossbar + b.External
+}
+
+// Plus accumulates two breakdowns.
+func (b Breakdown) Plus(o Breakdown) Breakdown {
+	return Breakdown{
+		Static:   b.Static + o.Static,
+		Compute:  b.Compute + o.Compute,
+		DRAM:     b.DRAM + o.DRAM,
+		Crossbar: b.Crossbar + o.Crossbar,
+		External: b.External + o.External,
+	}
+}
+
+// Scale multiplies all components by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Static: b.Static * f, Compute: b.Compute * f, DRAM: b.DRAM * f,
+		Crossbar: b.Crossbar * f, External: b.External * f,
+	}
+}
+
+// GPUActive returns the energy of an active GPU phase.
+func GPUActive(p GPUParams, seconds, flops, bytes float64) Breakdown {
+	return Breakdown{
+		Static:  p.StaticW * seconds,
+		Compute: flops * p.PJPerFLOP * 1e-12,
+		DRAM:    bytes * p.PJPerByte * 1e-12,
+	}
+}
+
+// GPUIdle returns the energy of the GPU waiting for seconds.
+func GPUIdle(p GPUParams, seconds float64) Breakdown {
+	return Breakdown{Static: p.IdleW * seconds}
+}
+
+// HMCActive returns the energy of an HMC phase executing peOps PE
+// operations while moving dramBytes through banks, xbarBytes through
+// the crossbar and extBytes over the external links.
+func HMCActive(p HMCParams, seconds, peOps, dramBytes, xbarBytes, extBytes float64) Breakdown {
+	return Breakdown{
+		Static:   (p.StaticW + p.LogicW) * seconds,
+		Compute:  peOps * p.PJPerPEOp * 1e-12,
+		DRAM:     dramBytes * p.PJPerDRAMByte * 1e-12,
+		Crossbar: xbarBytes * p.PJPerXbarByte * 1e-12,
+		External: extBytes * p.PJPerExtByte * 1e-12,
+	}
+}
+
+// HMCIdle returns the cube's background energy when only serving as
+// plain memory.
+func HMCIdle(p HMCParams, seconds float64) Breakdown {
+	return Breakdown{Static: p.StaticW * seconds}
+}

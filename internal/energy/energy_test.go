@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{Static: 1, Compute: 2, DRAM: 3, Crossbar: 4, External: 5}
+	if a.Total() != 15 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	b := a.Plus(a)
+	if b.Total() != 30 {
+		t.Fatalf("Plus Total = %v", b.Total())
+	}
+	c := a.Scale(2)
+	if c.Static != 2 || c.External != 10 {
+		t.Fatalf("Scale = %+v", c)
+	}
+}
+
+func TestGPUActiveComposition(t *testing.T) {
+	p := DefaultGPU()
+	e := GPUActive(p, 1.0, 1e12, 1e9)
+	if math.Abs(e.Static-p.StaticW) > 1e-9 {
+		t.Fatalf("static %v", e.Static)
+	}
+	if math.Abs(e.Compute-p.PJPerFLOP) > 1e-9 { // 1e12 FLOPs × pJ = J numerically equal to PJPerFLOP
+		t.Fatalf("compute %v", e.Compute)
+	}
+	if e.DRAM <= 0 || e.Crossbar != 0 {
+		t.Fatalf("unexpected components %+v", e)
+	}
+}
+
+func TestGPUIdleCheaperThanActive(t *testing.T) {
+	p := DefaultGPU()
+	if GPUIdle(p, 1).Total() >= GPUActive(p, 1, 0, 0).Total() {
+		t.Fatal("idle must cost less than active static")
+	}
+}
+
+func TestHMCEnergyMuchCheaperThanGPUForSameWork(t *testing.T) {
+	// The core energy claim: executing the RP's operations in the
+	// cube costs a small fraction of the GPU's energy for the same
+	// phase (Fig. 15b shows ≈ 92% savings).
+	g := DefaultGPU()
+	h := DefaultHMC()
+	seconds := 0.01
+	gpu := GPUActive(g, seconds*2, 1.5e9, 2e9) // GPU takes ~2× longer on RP
+	hmcE := HMCActive(h, seconds, 7.5e8, 5e8, 5e7, 0)
+	ratio := hmcE.Total() / gpu.Total()
+	if ratio > 0.2 {
+		t.Fatalf("HMC/GPU energy ratio %.3f too high for the paper's savings", ratio)
+	}
+}
+
+func TestHMCIdle(t *testing.T) {
+	h := DefaultHMC()
+	e := HMCIdle(h, 2)
+	if e.Total() != h.StaticW*2 {
+		t.Fatalf("HMCIdle = %v", e.Total())
+	}
+}
+
+func TestLogicPowerMatchesPaperOverhead(t *testing.T) {
+	if DefaultHMC().LogicW != 2.24 {
+		t.Fatal("PIM logic power must match §6.5's 2.24 W")
+	}
+}
+
+func TestHMCActiveComponents(t *testing.T) {
+	h := DefaultHMC()
+	e := HMCActive(h, 1, 1e9, 1e9, 1e9, 1e9)
+	if e.Static != h.StaticW+h.LogicW {
+		t.Fatalf("static %v", e.Static)
+	}
+	for name, v := range map[string]float64{
+		"compute": e.Compute, "dram": e.DRAM, "xbar": e.Crossbar, "ext": e.External,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s component not populated", name)
+		}
+	}
+	// External link energy per byte must exceed internal DRAM access
+	// energy (the physical reason moving the RP into memory saves
+	// energy).
+	if h.PJPerExtByte <= h.PJPerDRAMByte {
+		t.Fatal("external transfers must cost more than internal accesses")
+	}
+}

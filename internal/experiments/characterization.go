@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/gpusim"
+	"pimcapsnet/internal/workload"
+)
+
+func init() {
+	register("fig4", Fig4)
+	register("fig5", Fig5)
+	register("fig6a", Fig6a)
+	register("fig6b", Fig6b)
+	register("fig7", Fig7)
+}
+
+// Fig4 reproduces the per-layer execution-time breakdown of CapsNet
+// inference on the P100 (Fig. 4): layer shares plus the absolute
+// 100-batch run time (the red line).
+func Fig4() Table {
+	d := gpusim.TeslaP100()
+	t := Table{
+		ID:      "Fig4",
+		Title:   "Per-layer execution time breakdown on GPU (Tesla P100)",
+		Headers: []string{"Benchmark", "Conv", "L Caps", "H Caps (RP)", "FC", "Time (s)"},
+	}
+	var avg float64
+	for _, b := range workload.Benchmarks {
+		r := d.Run(b)
+		t.Rows = append(t.Rows, []string{
+			b.Name,
+			pct(r.LayerShare(workload.LayerConv)),
+			pct(r.LayerShare(workload.LayerLCaps)),
+			pct(r.LayerShare(workload.LayerHCaps)),
+			pct(r.LayerShare(workload.LayerFC)),
+			f2(r.Total()),
+		})
+		avg += r.RPShare()
+	}
+	avg /= float64(len(workload.Benchmarks))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average RP share: measured %s vs paper 74.62%%", pct(avg)))
+	return t
+}
+
+// Fig5 reproduces the RP pipeline-stall breakdown (Fig. 5).
+func Fig5() Table {
+	d := gpusim.TeslaP100()
+	t := Table{
+		ID:      "Fig5",
+		Title:   "RP pipeline-stall breakdown on Tesla P100",
+		Headers: []string{"Benchmark", "Memory", "Sync", "Lack of Resource", "Inst Fetch", "Other"},
+	}
+	var mem, sync float64
+	for _, b := range workload.Benchmarks {
+		s := d.RPStalls(b)
+		t.Rows = append(t.Rows, []string{
+			b.Name, pct(s.Memory), pct(s.Sync), pct(s.Resource), pct(s.InstFetch), pct(s.Other),
+		})
+		mem += s.Memory
+		sync += s.Sync
+	}
+	n := float64(len(workload.Benchmarks))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("averages: memory %s (paper 44.64%%), sync %s (paper 34.45%%)", pct(mem/n), pct(sync/n)))
+	return t
+}
+
+// Fig6a reproduces the ratio of RP intermediate-variable size to
+// on-chip storage across four GPUs (Fig. 6a).
+func Fig6a() Table {
+	gpus := gpusim.CharacterizationGPUs()
+	t := Table{
+		ID:      "Fig6a",
+		Title:   "RP intermediate size ÷ on-chip storage (A: K40m, B: P100, C: RTX2080Ti, D: V100)",
+		Headers: []string{"Benchmark", "Ratio_A", "Ratio_B", "Ratio_C", "Ratio_D"},
+	}
+	for _, b := range workload.Benchmarks {
+		row := []string{b.Name}
+		for _, d := range gpus {
+			row = append(row, fmt.Sprintf("%.0fx", d.IntermediateRatio(b)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper reports 41x-305x across benchmarks and GPUs")
+	return t
+}
+
+// Fig6b reproduces the on-chip storage sensitivity sweep (Fig. 6b):
+// normalized RP performance with the four storage sizes, isolated on
+// the P100 platform.
+func Fig6b() Table {
+	base := gpusim.TeslaP100()
+	sizes := []struct {
+		label string
+		mb    float64
+	}{
+		{"A (1.73MB)", 1.73}, {"B (5.31MB)", 5.31}, {"C (9.75MB)", 9.75}, {"D (16MB)", 16},
+	}
+	t := Table{
+		ID:      "Fig6b",
+		Title:   "Normalized RP performance vs on-chip storage",
+		Headers: []string{"Benchmark", "Perf_A", "Perf_B", "Perf_C", "Perf_D"},
+	}
+	sums := make([]float64, len(sizes))
+	for _, b := range workload.Benchmarks {
+		ref := base.WithOnChip(sizes[0].mb * (1 << 20)).RPTime(b).Total()
+		row := []string{b.Name}
+		for i, sz := range sizes {
+			perf := ref / base.WithOnChip(sz.mb*(1<<20)).RPTime(b).Total()
+			sums[i] += perf
+			row = append(row, f3(perf))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	n := float64(len(workload.Benchmarks))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"averages: %.3f / %.3f / %.3f / %.3f (paper: 1 / 1.09 / 1.11 / 1.114)",
+		sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n))
+	return t
+}
+
+// Fig7 reproduces the memory-bandwidth sensitivity study (Fig. 7):
+// normalized RP performance on the four GPUs whose memories span
+// GDDR5 to HBM2.
+func Fig7() Table {
+	gpus := gpusim.BandwidthGPUs()
+	t := Table{
+		ID:      "Fig7",
+		Title:   "Normalized RP performance vs memory bandwidth",
+		Headers: []string{"Benchmark"},
+	}
+	for _, d := range gpus {
+		t.Headers = append(t.Headers, fmt.Sprintf("%s (%.0fGB/s)", d.MemName, d.MemBandwidth/1e9))
+	}
+	sums := make([]float64, len(gpus))
+	for _, b := range workload.Benchmarks {
+		ref := gpus[0].RPTime(b).Total()
+		row := []string{b.Name}
+		for i, d := range gpus {
+			perf := ref / d.RPTime(b).Total()
+			sums[i] += perf
+			row = append(row, f3(perf))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	n := float64(len(workload.Benchmarks))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"averages: %.3f / %.3f / %.3f / %.3f (paper: 1 / 1.14 / 1.19 / 1.26)",
+		sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n))
+	return t
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/core"
+	"pimcapsnet/internal/workload"
+)
+
+func init() {
+	register("fig15a", Fig15a)
+	register("fig15b", Fig15b)
+	register("fig16a", Fig16a)
+	register("fig16b", Fig16b)
+	register("fig17a", Fig17a)
+	register("fig17b", Fig17b)
+}
+
+// Fig15a reproduces the RP speedup of PIM-CapsNet and GPU-ICP over the
+// baseline GPU (Fig. 15a).
+func Fig15a() Table {
+	e := core.NewEngine()
+	t := Table{
+		ID:      "Fig15a",
+		Title:   "RP speedup over Baseline GPU",
+		Headers: []string{"Benchmark", "Baseline", "GPU-ICP", "PIM-CapsNet"},
+	}
+	var avg float64
+	for _, b := range workload.Benchmarks {
+		baseT, _ := e.RPGPU(b, false)
+		icpT, _ := e.RPGPU(b, true)
+		pim := e.RPPIM(b, core.PIMCapsNet)
+		sp := baseT / pim.Time
+		avg += sp
+		t.Rows = append(t.Rows, []string{b.Name, "1.00", f3(baseT / icpT), f2(sp)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"average PIM-CapsNet RP speedup: %.2fx (paper 2.17x, up to 2.27x); GPU-ICP ≈ +1%% both here and in the paper",
+		avg/float64(len(workload.Benchmarks))))
+	return t
+}
+
+// Fig15b reproduces the normalized RP energy (Fig. 15b).
+func Fig15b() Table {
+	e := core.NewEngine()
+	t := Table{
+		ID:      "Fig15b",
+		Title:   "Normalized RP energy consumption",
+		Headers: []string{"Benchmark", "Baseline", "GPU-ICP", "PIM-CapsNet", "Saving"},
+	}
+	var avg float64
+	for _, b := range workload.Benchmarks {
+		_, baseE := e.RPGPU(b, false)
+		icpT, _ := e.RPGPU(b, true)
+		baseT, _ := e.RPGPU(b, false)
+		pim := e.RPPIM(b, core.PIMCapsNet)
+		rel := pim.Energy.Total() / baseE.Total()
+		avg += 1 - rel
+		t.Rows = append(t.Rows, []string{
+			b.Name, "1.000", f3(icpT / baseT), f3(rel), pct(1 - rel),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"average RP energy saving: %s (paper 92.18%%)", pct(avg/float64(len(workload.Benchmarks)))))
+	return t
+}
+
+// Fig16a reproduces the normalized RP execution-time breakdown of the
+// three PIM designs (Fig. 16a): execution vs crossbar vs vault request
+// stalls, normalized to the baseline GPU RP time.
+func Fig16a() Table {
+	e := core.NewEngine()
+	t := Table{
+		ID:      "Fig16a",
+		Title:   "PIM design time breakdown (normalized to Baseline GPU RP)",
+		Headers: []string{"Benchmark", "Design", "Execution", "X-bar", "VRS", "Total", "Speedup"},
+	}
+	var spIntra, spInter, spFull float64
+	for _, b := range workload.Benchmarks {
+		gpuT, _ := e.RPGPU(b, false)
+		for _, d := range []core.Design{core.PIMIntra, core.PIMInter, core.PIMCapsNet} {
+			r := e.RPPIM(b, d)
+			t.Rows = append(t.Rows, []string{
+				b.Name, d.String(),
+				f3(r.Exec / gpuT), f3(r.Xbar / gpuT), f3(r.VRS / gpuT),
+				f3(r.Time / gpuT), f2(gpuT / r.Time),
+			})
+			switch d {
+			case core.PIMIntra:
+				spIntra += gpuT / r.Time
+			case core.PIMInter:
+				spInter += gpuT / r.Time
+			case core.PIMCapsNet:
+				spFull += gpuT / r.Time
+			}
+		}
+	}
+	n := float64(len(workload.Benchmarks))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("avg speedups: PIM-Intra %.2fx (paper 1.22x), PIM-Inter %.2fx (paper 0.95x), PIM-CapsNet %.2fx", spIntra/n, spInter/n, spFull/n),
+		fmt.Sprintf("PIM-CapsNet vs PIM-Intra +%.1f%% (paper +76.6%%), vs PIM-Inter +%.1f%% (paper +127.8%%)",
+			100*(spFull/spIntra-1), 100*(spFull/spInter-1)))
+	return t
+}
+
+// Fig16b reproduces the energy breakdown of the three PIM designs
+// (Fig. 16b): execution (PE), DRAM, crossbar and vault static energy,
+// normalized to the baseline GPU RP energy.
+func Fig16b() Table {
+	e := core.NewEngine()
+	t := Table{
+		ID:      "Fig16b",
+		Title:   "PIM design energy breakdown (normalized to Baseline GPU RP)",
+		Headers: []string{"Benchmark", "Design", "Execution", "DRAM", "XBAR", "Vault", "Total"},
+	}
+	for _, b := range workload.Benchmarks {
+		_, gpuE := e.RPGPU(b, false)
+		ref := gpuE.Total()
+		for _, d := range []core.Design{core.PIMIntra, core.PIMInter, core.PIMCapsNet} {
+			r := e.RPPIM(b, d)
+			t.Rows = append(t.Rows, []string{
+				b.Name, d.String(),
+				f3(r.Energy.Compute / ref), f3(r.Energy.DRAM / ref),
+				f3((r.Energy.Crossbar + r.Energy.External) / ref), f3(r.Energy.Static / ref),
+				f3(r.Energy.Total() / ref),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "paper: PIM-CapsNet saves 4.81%/4.52% more energy than PIM-Inter/PIM-Intra")
+	return t
+}
+
+// Fig17a reproduces the whole-network speedup of every design point
+// (Fig. 17a).
+func Fig17a() Table {
+	e := core.NewEngine()
+	designs := []core.Design{core.Baseline, core.AllInPIM, core.RMASPIM, core.RMASGPU, core.PIMCapsNet}
+	t := Table{
+		ID:      "Fig17a",
+		Title:   "Whole-network speedup over Baseline",
+		Headers: []string{"Benchmark"},
+	}
+	for _, d := range designs {
+		t.Headers = append(t.Headers, d.String())
+	}
+	var avg, best float64
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, core.Baseline)
+		row := []string{b.Name}
+		for _, d := range designs {
+			sp := core.Speedup(base, e.Inference(b, d))
+			row = append(row, f2(sp))
+			if d == core.PIMCapsNet {
+				avg += sp
+				if sp > best {
+					best = sp
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"PIM-CapsNet average %.2fx, best %.2fx (paper: 2.44x average, up to 2.76x)",
+		avg/float64(len(workload.Benchmarks)), best))
+	return t
+}
+
+// Fig17b reproduces the whole-network normalized energy (Fig. 17b).
+func Fig17b() Table {
+	e := core.NewEngine()
+	designs := []core.Design{core.Baseline, core.AllInPIM, core.RMASPIM, core.RMASGPU, core.PIMCapsNet}
+	t := Table{
+		ID:      "Fig17b",
+		Title:   "Whole-network normalized energy",
+		Headers: []string{"Benchmark"},
+	}
+	for _, d := range designs {
+		t.Headers = append(t.Headers, d.String())
+	}
+	var avg, bestSave float64
+	for _, b := range workload.Benchmarks {
+		base := e.Inference(b, core.Baseline)
+		row := []string{b.Name}
+		for _, d := range designs {
+			r := e.Inference(b, d)
+			rel := r.Energy.Total() / base.Energy.Total()
+			row = append(row, f3(rel))
+			if d == core.PIMCapsNet {
+				avg += 1 - rel
+				if 1-rel > bestSave {
+					bestSave = 1 - rel
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"PIM-CapsNet average saving %s, best %s (paper: 64.91%% average, up to 85.16%%); All-in-PIM saves energy at ~0.5x performance (paper 71.09%%)",
+		pct(avg/float64(len(workload.Benchmarks))), pct(bestSave)))
+	return t
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig6a", "fig6b", "fig7",
+		"fig15a", "fig15b", "fig16a", "fig16b", "fig17a", "fig17b",
+		"fig18", "table5", "table5quick", "overhead", "scaling", "emrouting", "modelcheck",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q missing from registry (have %v)", id, ids)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestFastExperimentsProduceFullTables runs every analytic experiment
+// (all but table5) and validates row counts and non-empty cells.
+func TestFastExperimentsProduceFullTables(t *testing.T) {
+	nBench := len(workload.Benchmarks)
+	wantRows := map[string]int{
+		"fig4": nBench, "fig5": nBench, "fig6a": nBench, "fig6b": nBench,
+		"fig7": nBench, "fig15a": nBench, "fig15b": nBench,
+		"fig16a": nBench * 3, "fig16b": nBench * 3,
+		"fig17a": nBench, "fig17b": nBench, "fig18": nBench, "overhead": 6,
+		"scaling": 4, "emrouting": nBench, "modelcheck": 3,
+	}
+	for id, rows := range wantRows {
+		tab, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) != rows {
+			t.Fatalf("%s: %d rows, want %d", id, len(tab.Rows), rows)
+		}
+		for ri, row := range tab.Rows {
+			if len(row) != len(tab.Headers) {
+				t.Fatalf("%s row %d has %d cells for %d headers", id, ri, len(row), len(tab.Headers))
+			}
+			for ci, cell := range row {
+				if cell == "" {
+					t.Fatalf("%s row %d cell %d empty", id, ri, ci)
+				}
+			}
+		}
+		if tab.ID == "" || tab.Title == "" {
+			t.Fatalf("%s missing metadata", id)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID: "X", Title: "demo",
+		Headers: []string{"A", "BB"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, frag := range []string{"X: demo", "A", "BB", "333", "note: hello"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Fprint output missing %q:\n%s", frag, out)
+		}
+	}
+	buf.Reset()
+	tab.Markdown(&buf)
+	md := buf.String()
+	if !strings.Contains(md, "| A | BB |") || !strings.Contains(md, "*hello*") {
+		t.Fatalf("Markdown output malformed:\n%s", md)
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	cs := buf.String()
+	if !strings.Contains(cs, "A,BB") || !strings.Contains(cs, "333,4") || !strings.Contains(cs, "# hello") {
+		t.Fatalf("CSV output malformed:\n%s", cs)
+	}
+}
+
+// TestTable5Subset trains the two cheapest proxies and checks the
+// Table 5 mechanism: trained networks stay well above chance and the
+// PE approximations track exact routing closely.
+func TestTable5Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("proxy training skipped in -short mode")
+	}
+	mn1, _ := workload.ByName("Caps-MN1")
+	sv1, _ := workload.ByName("Caps-SV1")
+	tab := table5For([]workload.Benchmark{mn1, sv1})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	for _, b := range []workload.Benchmark{mn1, sv1} {
+		r := trainProxy(b)
+		chance := 1.0 / float64(b.NumH)
+		if r.Origin < 3*chance {
+			t.Fatalf("%s proxy failed to train: origin accuracy %.2f (chance %.2f)", b.Name, r.Origin, chance)
+		}
+		if diff := r.Origin - r.NoRecover; diff > 0.15 || diff < -0.15 {
+			t.Fatalf("%s approximation delta %.2f implausibly large", b.Name, diff)
+		}
+		if diff := r.Origin - r.Recover; diff > 0.15 || diff < -0.15 {
+			t.Fatalf("%s recovered delta %.2f implausibly large", b.Name, diff)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	register("fig4", Fig4)
+}
+
+func TestScalingMonotone(t *testing.T) {
+	tab, err := Run("scaling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "regressed") {
+			t.Fatalf("scaling speedup regressed: %s", n)
+		}
+	}
+}
+
+func TestEMRoutingSpeedupHolds(t *testing.T) {
+	tab, err := Run("emrouting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final column is the estimated EM speedup; all rows must beat 1.5×.
+	for _, row := range tab.Rows {
+		sp := row[len(row)-1]
+		var v float64
+		if _, err := fmt.Sscanf(sp, "%f", &v); err != nil {
+			t.Fatalf("unparseable speedup %q", sp)
+		}
+		if v < 1.5 {
+			t.Fatalf("%s: EM speedup %v below 1.5x", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/core"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/pe"
+	"pimcapsnet/internal/workload"
+)
+
+func init() {
+	register("fig18", Fig18)
+	register("overhead", Overhead)
+}
+
+// Fig18 reproduces the distribution-dimension × PE-frequency heat map
+// (Fig. 18): RP speedup over the baseline GPU for each benchmark,
+// forced dimension (B/L/H) and logic-layer clock, with the
+// execution-score distributor's pick marked.
+func Fig18() Table {
+	freqs := []float64{312.5e6, 625e6, 937.5e6}
+	t := Table{
+		ID:      "Fig18",
+		Title:   "RP speedup by distribution dimension and PE frequency",
+		Headers: []string{"Benchmark"},
+	}
+	for _, f := range freqs {
+		for _, d := range distribute.Dimensions {
+			t.Headers = append(t.Headers, fmt.Sprintf("%.0fMHz/%v", f/1e6, d))
+		}
+	}
+	flips := 0
+	for _, b := range workload.Benchmarks {
+		row := []string{b.Name}
+		var firstBest, lastBest distribute.Dimension
+		for fi, f := range freqs {
+			e := core.NewEngine()
+			e.HMC = e.HMC.WithClock(f)
+			gpuT, _ := e.RPGPU(b, false)
+			bestSp := 0.0
+			var bestDim distribute.Dimension
+			cells := make([]string, 0, len(distribute.Dimensions))
+			for _, d := range distribute.Dimensions {
+				dim := d
+				e.ForceDim = &dim
+				sp := gpuT / e.RPPIM(b, core.PIMCapsNet).Time
+				cells = append(cells, f2(sp))
+				if sp > bestSp {
+					bestSp, bestDim = sp, d
+				}
+			}
+			// Mark the winning dimension per frequency.
+			for i, d := range distribute.Dimensions {
+				if d == bestDim {
+					cells[i] += "*"
+				}
+			}
+			row = append(row, cells...)
+			if fi == 0 {
+				firstBest = bestDim
+			}
+			lastBest = bestDim
+		}
+		if firstBest != lastBest {
+			flips++
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"* marks the fastest dimension at that frequency",
+		fmt.Sprintf("%d/%d benchmarks change their best dimension across the sweep (the paper observes the choice shifts with frequency, e.g. Caps-SV3)", flips, len(workload.Benchmarks)))
+	return t
+}
+
+// Overhead reproduces the §6.5 overhead analysis: area, power and
+// thermal headroom of the PIM logic.
+func Overhead() Table {
+	t := Table{
+		ID:      "Overhead",
+		Title:   "PIM logic overheads (§6.5)",
+		Headers: []string{"Metric", "Value", "Paper"},
+	}
+	t.Rows = [][]string{
+		{"Logic area (32 vaults + RMAS)", fmt.Sprintf("%.2f mm²", pe.LogicAreaMM2), "3.11 mm² @ 24nm"},
+		{"HMC logic-surface fraction", pct(pe.HMCLogicAreaFraction), "0.32%"},
+		{"Average power overhead", fmt.Sprintf("%.2f W", pe.AvgPowerW), "2.24 W"},
+		{"Thermal budget (TDP headroom)", fmt.Sprintf("%.1f W", pe.TDPHeadroomW), "10 W"},
+		{"312.5 MHz within budget", fmt.Sprintf("%v", pe.WithinThermalBudget(312.5e6)), "yes"},
+		{"937.5 MHz within budget", fmt.Sprintf("%v", pe.WithinThermalBudget(937.5e6)), "yes"},
+	}
+	return t
+}

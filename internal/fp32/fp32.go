@@ -1,0 +1,196 @@
+// Package fp32 implements, bit-exactly in software, the IEEE-754
+// single-precision approximations that PIM-CapsNet's processing
+// elements (PEs) use in place of full special-function units
+// (paper §5.2.2):
+//
+//   - inverse square root by exponent bit-shifting (Lomont's method,
+//     used for the |s| normalization inside squash),
+//   - division by approximate reciprocal (bit-shifted exponent
+//     negation, optionally Newton-refined),
+//   - the exponential function as a shifted linear mapping into the
+//     FP32 bit pattern, ExpResult ≈ BS(log2(e)·x + Avg + b − 1)
+//     (paper Eqs. 13–14; the Schraudolph family), with the bit
+//     chucking of the exponent-matching step modeled as truncation,
+//   - the one-multiply accuracy-recovery scaling that compensates the
+//     mean value difference of each approximation (paper §5.2.2,
+//     "Accuracy Recovery": the loss "will be recovered via enlarging
+//     the results by the mean percentage of the value difference").
+//
+// These functions compute exactly what the modeled hardware would, so
+// the Table 5 accuracy experiments measure real numerical effects.
+package fp32
+
+import (
+	"math"
+	"math/rand"
+)
+
+// log2E is log2(e), the constant the PE stores offline (paper Eq. 14).
+const log2E = 1.4426950408889634
+
+// expTruncAdj is the paper's Avg term adapted to truncating hardware:
+// the fraction representation 2^f − 1 is approximated by f + c, and
+// because the exponent-matching step chucks least-significant bits
+// (always rounding toward zero), the PE uses the conservative constant
+// c = min_f (2^f − 1 − f) = 2^f* − 1 − f* at f* = −log2(ln 2), so the
+// assembled result never exceeds the exact exponential. The recovery
+// multiply then lifts the mean back (see CalibrateExpRecovery).
+var expTruncAdj = func() float64 {
+	fstar := -math.Log2(math.Ln2)
+	return math.Pow(2, fstar) - 1 - fstar
+}()
+
+// FastInvSqrt approximates 1/√x for positive x using only the classic
+// exponent bit-shift (magic constant) — the "simple low-cost logic"
+// the paper adopts for the inverse square root in Eq. 3. Maximum
+// relative error is about 3.4%.
+func FastInvSqrt(x float32) float32 {
+	if x <= 0 {
+		if x == 0 {
+			return float32(math.Inf(1))
+		}
+		return float32(math.NaN())
+	}
+	i := math.Float32bits(x)
+	i = 0x5f3759df - (i >> 1)
+	return math.Float32frombits(i)
+}
+
+// FastInvSqrtNR is FastInvSqrt followed by one Newton-Raphson
+// refinement (y = y(1.5 − 0.5·x·y²)), the higher-precision PE flow
+// (paper Fig. 11 flow 3-2-1-2-1). Maximum relative error ≈ 0.2%.
+func FastInvSqrtNR(x float32) float32 {
+	y := FastInvSqrt(x)
+	if x > 0 && !math.IsInf(float64(y), 0) {
+		y = y * (1.5 - 0.5*x*y*y)
+	}
+	return y
+}
+
+// FastRecip approximates 1/x by bit-level exponent negation. Maximum
+// relative error is a few percent.
+func FastRecip(x float32) float32 {
+	if x == 0 {
+		return float32(math.Inf(1))
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	i := math.Float32bits(x)
+	i = 0x7EF311C3 - i
+	y := math.Float32frombits(i)
+	if neg {
+		y = -y
+	}
+	return y
+}
+
+// FastRecipNR is FastRecip refined by two Newton-Raphson steps
+// (y = y(2 − x·y)); relative error drops below 1e-4.
+func FastRecipNR(x float32) float32 {
+	y := FastRecip(x)
+	if math.IsInf(float64(y), 0) {
+		return y
+	}
+	y = y * (2 - x*y)
+	y = y * (2 - x*y)
+	return y
+}
+
+// FastDiv approximates a/b as a·FastRecip(b).
+func FastDiv(a, b float32) float32 { return a * FastRecip(b) }
+
+// FastDivNR approximates a/b with the Newton-refined reciprocal.
+func FastDivNR(a, b float32) float32 { return a * FastRecipNR(b) }
+
+// ApproxExp approximates e^x with the paper's representation-transfer
+// scheme: the result's FP32 bit pattern is built directly from
+// log2(e)·x + Avg + bias − 1 shifted into the exponent/fraction fields
+// (Eqs. 13–14). The truncating constant makes the result a slight,
+// systematic underestimate, exactly the bias the recovery multiply is
+// designed to lift. Inputs far outside FP32's exponent range saturate
+// to 0 or +Inf like the hardware would.
+func ApproxExp(x float32) float32 {
+	y := float64(x) * log2E // base-2 exponent, Eq. 13
+	if y <= -126 {
+		return 0 // underflow: denormal range chucked to zero
+	}
+	if y >= 128 {
+		return float32(math.Inf(1))
+	}
+	// byc + b + (2^{y−byc} − 1) ≈ y + c + b, assembled as the raw bit
+	// pattern via a 23-bit shift; int conversion truncates toward zero
+	// like the hardware's bit chucking.
+	bits := int32((y + expTruncAdj + 127) * (1 << 23))
+	if bits < 0 {
+		return 0
+	}
+	return math.Float32frombits(uint32(bits))
+}
+
+// Recovery bundles the calibrated accuracy-recovery factors for the
+// three approximated special functions. Each factor is the mean
+// exact/approx ratio over the offline calibration run; applying it
+// costs the PE one extra multiplication per special-function result.
+type Recovery struct {
+	Exp     float32
+	InvSqrt float32
+	Recip   float32
+}
+
+// Identity is the no-recovery configuration (all factors 1).
+var Identity = Recovery{Exp: 1, InvSqrt: 1, Recip: 1}
+
+// Default holds the factors produced by the paper's calibration
+// procedure (10,000 executions, fixed seed, see Calibrate). Computed
+// once at package initialization so all results are reproducible.
+var Default = Calibrate(rand.New(rand.NewSource(0x5eed)), 10000)
+
+// Calibrate reproduces the paper's offline calibration: run n
+// executions of each approximated special function on inputs
+// representative of the routing procedure (logits in [−10, 10] for
+// exp, squared norms in (0, 4] for inverse sqrt, denominators in
+// (0, 8] for reciprocal), collect the value difference between the
+// approximated and original results, and return the mean exact/approx
+// ratio per function.
+func Calibrate(rng *rand.Rand, n int) Recovery {
+	if n <= 0 {
+		return Identity
+	}
+	var se, si, sr float64
+	for i := 0; i < n; i++ {
+		x := float32(rng.Float64()*20 - 10)
+		if a := float64(ApproxExp(x)); a > 0 {
+			se += math.Exp(float64(x)) / a
+		} else {
+			se++
+		}
+		q := float32(rng.Float64()*4) + 1e-6
+		si += (1 / math.Sqrt(float64(q))) / float64(FastInvSqrt(q))
+		d := float32(rng.Float64()*8) + 1e-6
+		sr += (1 / float64(d)) / float64(FastRecip(d))
+	}
+	inv := 1 / float64(n)
+	return Recovery{
+		Exp:     float32(se * inv),
+		InvSqrt: float32(si * inv),
+		Recip:   float32(sr * inv),
+	}
+}
+
+// RecoveredExp is ApproxExp followed by the accuracy-recovery
+// multiplication with the default calibration.
+func RecoveredExp(x float32) float32 {
+	return ApproxExp(x) * Default.Exp
+}
+
+// RelError returns |approx−exact|/|exact| (or |approx−exact| when
+// exact is 0), a helper shared by the accuracy experiments.
+func RelError(approx, exact float64) float64 {
+	d := math.Abs(approx - exact)
+	if exact == 0 {
+		return d
+	}
+	return d / math.Abs(exact)
+}

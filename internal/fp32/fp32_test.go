@@ -1,0 +1,257 @@
+package fp32
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastInvSqrtAccuracy(t *testing.T) {
+	for _, x := range []float32{1e-6, 0.01, 0.25, 1, 2, 4, 100, 1e6} {
+		got := float64(FastInvSqrt(x))
+		want := 1 / math.Sqrt(float64(x))
+		if RelError(got, want) > 0.035 {
+			t.Fatalf("FastInvSqrt(%v) = %v, want %v (rel err %.2e)", x, got, want, RelError(got, want))
+		}
+	}
+}
+
+func TestFastInvSqrtNRAccuracy(t *testing.T) {
+	for _, x := range []float32{1e-6, 0.01, 0.25, 1, 2, 4, 100, 1e6} {
+		got := float64(FastInvSqrtNR(x))
+		want := 1 / math.Sqrt(float64(x))
+		if RelError(got, want) > 2e-3 {
+			t.Fatalf("FastInvSqrtNR(%v) = %v, want %v (rel err %.2e)", x, got, want, RelError(got, want))
+		}
+	}
+}
+
+func TestFastInvSqrtEdgeCases(t *testing.T) {
+	if !math.IsInf(float64(FastInvSqrt(0)), 1) {
+		t.Fatal("FastInvSqrt(0) must be +Inf")
+	}
+	if !math.IsNaN(float64(FastInvSqrt(-1))) {
+		t.Fatal("FastInvSqrt(-1) must be NaN")
+	}
+	if !math.IsInf(float64(FastInvSqrtNR(0)), 1) {
+		t.Fatal("FastInvSqrtNR(0) must be +Inf")
+	}
+}
+
+func TestFastInvSqrtPropertyPositiveRange(t *testing.T) {
+	f := func(u uint32) bool {
+		// Map to positive normal floats in (1e-30, 1e30).
+		x := float32(math.Pow(10, float64(u%600)/10-30))
+		got := float64(FastInvSqrt(x))
+		want := 1 / math.Sqrt(float64(x))
+		return RelError(got, want) < 0.035
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastRecipAccuracy(t *testing.T) {
+	for _, x := range []float32{1e-5, 0.1, 0.5, 1, 3, 7.5, 1000, 1e5, -2, -0.25} {
+		got := float64(FastRecip(x))
+		want := 1 / float64(x)
+		if RelError(got, want) > 0.06 {
+			t.Fatalf("FastRecip(%v) = %v, want %v (rel err %.3f)", x, got, want, RelError(got, want))
+		}
+	}
+}
+
+func TestFastRecipNRAccuracy(t *testing.T) {
+	for _, x := range []float32{1e-5, 0.1, 0.5, 1, 3, 7.5, 1000, 1e5, -2, -0.25} {
+		got := float64(FastRecipNR(x))
+		want := 1 / float64(x)
+		if RelError(got, want) > 1e-4 {
+			t.Fatalf("FastRecipNR(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestFastRecipZero(t *testing.T) {
+	if !math.IsInf(float64(FastRecip(0)), 1) {
+		t.Fatal("FastRecip(0) must be +Inf")
+	}
+	if !math.IsInf(float64(FastRecipNR(0)), 1) {
+		t.Fatal("FastRecipNR(0) must be +Inf")
+	}
+}
+
+func TestFastRecipPreservesSign(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			return true
+		}
+		v := float32(x)
+		if v == 0 || math.IsInf(float64(v), 0) {
+			return true
+		}
+		r := FastRecip(v)
+		return (v > 0) == (r > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastDiv(t *testing.T) {
+	for _, c := range [][2]float32{{6, 3}, {1, 7}, {-9, 4}, {5, -2.5}, {0.001, 0.003}} {
+		got := float64(FastDivNR(c[0], c[1]))
+		want := float64(c[0]) / float64(c[1])
+		if RelError(got, want) > 1e-4 {
+			t.Fatalf("FastDivNR(%v,%v) = %v, want %v", c[0], c[1], got, want)
+		}
+		if RelError(float64(FastDiv(c[0], c[1])), want) > 0.06 {
+			t.Fatalf("FastDiv(%v,%v) too far off", c[0], c[1])
+		}
+	}
+}
+
+func TestApproxExpAccuracyWindow(t *testing.T) {
+	// Inside the routing-logit window the paper cares about, relative
+	// error must stay within ~9% (the truncating constant's worst
+	// case); the recovery multiply lifts the mean back.
+	for x := -10.0; x <= 10.0; x += 0.137 {
+		got := float64(ApproxExp(float32(x)))
+		want := math.Exp(x)
+		if RelError(got, want) > 0.09 {
+			t.Fatalf("ApproxExp(%v) = %v, want %v (rel err %.3f)", x, got, want, RelError(got, want))
+		}
+	}
+}
+
+func TestApproxExpUnderestimates(t *testing.T) {
+	// The truncating assembly never exceeds the exact exponential —
+	// this is the systematic bias the recovery multiply compensates.
+	for x := -20.0; x <= 20.0; x += 0.0917 {
+		got := float64(ApproxExp(float32(x)))
+		want := math.Exp(x)
+		if got > want*(1+1e-7) {
+			t.Fatalf("ApproxExp(%v) = %v exceeds exact %v", x, got, want)
+		}
+	}
+}
+
+func TestApproxExpMonotone(t *testing.T) {
+	prev := ApproxExp(-20)
+	for x := float32(-20); x <= 20; x += 0.05 {
+		v := ApproxExp(x)
+		if v < prev {
+			t.Fatalf("ApproxExp not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestApproxExpSaturation(t *testing.T) {
+	if ApproxExp(-200) != 0 {
+		t.Fatal("ApproxExp must underflow to 0 for very negative input")
+	}
+	if !math.IsInf(float64(ApproxExp(200)), 1) {
+		t.Fatal("ApproxExp must saturate to +Inf for very large input")
+	}
+	if v := ApproxExp(0); RelError(float64(v), 1) > 0.09 {
+		t.Fatalf("ApproxExp(0) = %v, want ~1", v)
+	}
+}
+
+func TestApproxExpAlwaysNonNegative(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return ApproxExp(float32(x)) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateFactorsNearOne(t *testing.T) {
+	r := Calibrate(rand.New(rand.NewSource(42)), 10000)
+	for name, f := range map[string]float32{"Exp": r.Exp, "InvSqrt": r.InvSqrt, "Recip": r.Recip} {
+		if f < 0.9 || f > 1.1 {
+			t.Fatalf("recovery factor %s = %v unexpectedly far from 1", name, f)
+		}
+	}
+	// The exp approximation is a deliberate underestimate, so its
+	// recovery factor must enlarge ("enlarging the results", §5.2.2).
+	if r.Exp <= 1 {
+		t.Fatalf("exp recovery factor %v must be > 1", r.Exp)
+	}
+	if Calibrate(nil, 0) != Identity {
+		t.Fatal("zero-sample calibration must return Identity")
+	}
+}
+
+func TestRecoveredExpBeatsRawApprox(t *testing.T) {
+	// Over the calibration window the mean relative error with
+	// recovery must be lower than without — this is the mechanism
+	// behind Table 5's accuracy restoration.
+	rng := rand.New(rand.NewSource(7))
+	var rawErr, recErr float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := float32(rng.Float64()*20 - 10)
+		exact := math.Exp(float64(x))
+		rawErr += RelError(float64(ApproxExp(x)), exact)
+		recErr += RelError(float64(RecoveredExp(x)), exact)
+	}
+	rawErr /= n
+	recErr /= n
+	if recErr >= rawErr {
+		t.Fatalf("recovery did not reduce mean error: raw %.4f vs recovered %.4f", rawErr, recErr)
+	}
+}
+
+func TestRecoveryReducesInvSqrtBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var raw, rec float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q := float32(rng.Float64()*4) + 1e-6
+		exact := 1 / math.Sqrt(float64(q))
+		raw += float64(FastInvSqrt(q)) / exact
+		rec += float64(FastInvSqrt(q)*Default.InvSqrt) / exact
+	}
+	raw, rec = raw/n, rec/n
+	if math.Abs(rec-1) >= math.Abs(raw-1) {
+		t.Fatalf("recovery did not reduce inv-sqrt mean bias: raw %.5f vs recovered %.5f", raw, rec)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if math.Abs(RelError(1.1, 1.0)-0.1) > 1e-12 {
+		t.Fatalf("RelError(1.1,1) = %v", RelError(1.1, 1.0))
+	}
+	if RelError(0.5, 0) != 0.5 {
+		t.Fatal("RelError with exact=0 must be absolute")
+	}
+}
+
+func TestDefaultRecoveryDeterministic(t *testing.T) {
+	again := Calibrate(rand.New(rand.NewSource(0x5eed)), 10000)
+	if again != Default {
+		t.Fatalf("Default recovery not reproducible: %+v vs %+v", Default, again)
+	}
+}
+
+func BenchmarkFastInvSqrt(b *testing.B) {
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += FastInvSqrt(float32(i%1000) + 1)
+	}
+	_ = s
+}
+
+func BenchmarkApproxExp(b *testing.B) {
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += ApproxExp(float32(i%20) - 10)
+	}
+	_ = s
+}

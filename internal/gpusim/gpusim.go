@@ -1,0 +1,351 @@
+// Package gpusim is an analytical timing model of CapsNet inference on
+// GPUs, reproducing the paper's characterization study (§3, Figs. 4–7).
+//
+// The model is first-order and operation-analytic: layer times follow
+// from FLOP counts, off-chip traffic, kernel-launch serialization and
+// barrier-synchronization costs, with the routing procedure's traffic
+// expanded the way an eager deep-learning framework executes it
+// (broadcast temporaries materialized per iteration, intermediates
+// re-streamed because they exceed on-chip storage — the paper's §3.2
+// root causes). Absolute times are calibrated to the same order of
+// magnitude as the paper's P100 measurements; the experiments compare
+// ratios, which is what the characterization figures report.
+package gpusim
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/workload"
+)
+
+// Device describes a GPU configuration.
+type Device struct {
+	Name string
+	// Cores and ClockHz define peak FP32 throughput (2·cores·clock,
+	// counting FMA as two operations).
+	Cores   int
+	ClockHz float64
+	// OnChipBytes is the total on-chip storage (L1 + shared + L2),
+	// the denominator of Fig. 6a.
+	OnChipBytes float64
+	// MemBandwidth is the off-chip bandwidth in bytes/s and MemName
+	// the memory technology label (Fig. 7).
+	MemBandwidth float64
+	MemName      string
+	// MemCapacity is the device memory size, which sets the
+	// capacity-pressure penalty for large routing temporaries.
+	MemCapacity float64
+	// IdealCache models the GPU-ICP design point: an oracle
+	// replacement policy that doubles the effectively resident
+	// fraction of routing intermediates (the paper finds this buys
+	// ~1% — the intermediates are simply too large).
+	IdealCache bool
+}
+
+// Calibration constants shared by all devices. They model the software
+// stack (PyTorch + cuDNN) rather than the silicon and were fitted once
+// against the paper's published P100 ratios (see EXPERIMENTS.md).
+const (
+	// convEff is the achieved fraction of peak FLOPs for cuDNN
+	// convolutions and GEMMs (large 9×9 kernels, no tensor cores).
+	convEff = 0.42
+	// rpEff is the achieved fraction of peak FLOPs inside routing
+	// kernels (unfused elementwise + reduction ops).
+	rpEff = 0.3
+	// convBWEff / rpBWEff are achieved fractions of peak memory
+	// bandwidth (routing's broadcast/strided access patterns coalesce
+	// poorly).
+	convBWEff = 0.85
+	rpBWEff   = 0.5
+	// iterUhatStreams counts û-sized streams the framework moves per
+	// routing iteration: Eq. 2 materializes c·û (write+read) and
+	// re-reads û, Eq. 4 does the same for v·û (≈ 3.5 streams each).
+	iterUhatStreams = 4.0
+	// syncCost is the serialized cost of one barrier-style
+	// aggregation tile (shared-memory reduction wave).
+	syncCost = 1.6e-6
+	// kernelLaunch is the host-side dispatch cost per kernel.
+	kernelLaunch = 30e-6
+	// tempFootprintFactor sizes the routing iteration's transient
+	// allocations relative to û (broadcast temporaries plus the live
+	// copies of û itself).
+	tempFootprintFactor = 11.0
+	// pressureKnee shapes the allocator/capacity penalty
+	// 1/(1 − k·f)² as footprint f approaches device memory.
+	pressureKnee = 0.5
+)
+
+// Predefined devices (Table 4 host plus the characterization GPUs of
+// Figs. 6 and 7).
+func TeslaP100() Device {
+	return Device{Name: "Tesla P100", Cores: 3584, ClockHz: 1190e6,
+		OnChipBytes: 5.31 * (1 << 20), MemBandwidth: 320e9, MemName: "HBM",
+		MemCapacity: 8 << 30}
+}
+func TeslaK40m() Device {
+	return Device{Name: "Tesla K40m", Cores: 2880, ClockHz: 745e6,
+		OnChipBytes: 1.73 * (1 << 20), MemBandwidth: 288e9, MemName: "GDDR5",
+		MemCapacity: 12 << 30}
+}
+func GTX1080Ti() Device {
+	return Device{Name: "GTX 1080Ti", Cores: 3584, ClockHz: 1481e6,
+		OnChipBytes: 5.06 * (1 << 20), MemBandwidth: 484e9, MemName: "GDDR5X",
+		MemCapacity: 11 << 30}
+}
+func RTX2080Ti() Device {
+	return Device{Name: "RTX 2080Ti", Cores: 4352, ClockHz: 1545e6,
+		OnChipBytes: 9.75 * (1 << 20), MemBandwidth: 616e9, MemName: "GDDR6",
+		MemCapacity: 11 << 30}
+}
+func TeslaV100() Device {
+	return Device{Name: "Tesla V100", Cores: 5120, ClockHz: 1455e6,
+		OnChipBytes: 16 << 20, MemBandwidth: 897e9, MemName: "HBM2",
+		MemCapacity: 16 << 30}
+}
+
+// CharacterizationGPUs returns the four GPUs of Fig. 6 (A–D ordered by
+// on-chip storage).
+func CharacterizationGPUs() []Device {
+	return []Device{TeslaK40m(), TeslaP100(), RTX2080Ti(), TeslaV100()}
+}
+
+// BandwidthGPUs returns the four GPUs of Fig. 7 ordered by memory
+// bandwidth.
+func BandwidthGPUs() []Device {
+	return []Device{TeslaK40m(), GTX1080Ti(), RTX2080Ti(), TeslaV100()}
+}
+
+// WithOnChip returns a copy of d with the given on-chip storage (used
+// by the Fig. 6b isolation sweep).
+func (d Device) WithOnChip(bytes float64) Device {
+	d.OnChipBytes = bytes
+	return d
+}
+
+// WithMemory returns a copy of d with the given memory system (used by
+// the Fig. 7 isolation sweep).
+func (d Device) WithMemory(name string, bandwidth float64) Device {
+	d.MemName = name
+	d.MemBandwidth = bandwidth
+	return d
+}
+
+// PeakFLOPS returns the device's peak FP32 rate.
+func (d Device) PeakFLOPS() float64 { return 2 * float64(d.Cores) * d.ClockHz }
+
+// LayerTime is the simulated per-batch execution time of one layer,
+// decomposed into its components (seconds).
+type LayerTime struct {
+	Kind    workload.LayerKind
+	Compute float64 // arithmetic pipeline busy time
+	Memory  float64 // off-chip transfer time
+	Sync    float64 // barrier/aggregation serialization
+	Launch  float64 // kernel dispatch serialization
+}
+
+// Total returns the layer's wall time: compute overlaps memory
+// (whichever dominates), synchronization and launches serialize.
+func (t LayerTime) Total() float64 {
+	busy := t.Compute
+	if t.Memory > busy {
+		busy = t.Memory
+	}
+	return busy + t.Sync + t.Launch
+}
+
+// convLikeTime models a host layer (Conv, PrimaryCaps, FC) from its
+// workload cost.
+func (d Device) convLikeTime(c workload.LayerCost) LayerTime {
+	return LayerTime{
+		Kind:    c.Kind,
+		Compute: c.FLOPs / (d.PeakFLOPS() * convEff),
+		Memory:  (c.BytesIn + c.BytesOut) / (d.MemBandwidth * convBWEff),
+		Sync:    c.SyncOps * syncCost,
+		Launch:  c.Kernels * kernelLaunch,
+	}
+}
+
+// rpTraffic returns the routing procedure's off-chip bytes per batch
+// under this device's cache.
+func (d Device) rpTraffic(b workload.Benchmark) float64 {
+	vars := b.RPVars()
+	onChip := d.OnChipBytes
+	if d.IdealCache {
+		onChip *= 2 // oracle replacement keeps the most-reused half-set
+	}
+	resident := onChip / vars.Total()
+	if resident > 1 {
+		resident = 1
+	}
+	miss := 1 - resident
+	uIn := float64(b.BatchSize*b.NumL*b.DimL) * workload.WordBytes
+	compulsory := uIn + vars.Weights + vars.UHat + vars.V
+	perIter := iterUhatStreams*vars.UHat + 2*(vars.S+vars.V+vars.B+vars.C)
+	return compulsory + float64(b.Iters)*perIter*miss
+}
+
+// rpPressure returns the capacity-pressure multiplier on routing
+// memory time: transient broadcast temporaries approach device memory
+// at large batch/network sizes, degrading allocator and DRAM locality
+// superlinearly (the paper's Observation 1: batching does not help and
+// total time grows with batch size).
+func (d Device) rpPressure(b workload.Benchmark) float64 {
+	f := tempFootprintFactor * b.RPVars().UHat / d.MemCapacity
+	if f > pressureKnee {
+		f = pressureKnee
+	}
+	x := 1 - pressureKnee*f
+	return 1 / (x * x)
+}
+
+// RPTime models the routing procedure for one batch.
+func (d Device) RPTime(b workload.Benchmark) LayerTime {
+	cost := b.RPCost(d.OnChipBytes)
+	// One barrier wave per 256-element reduction tile of the û-sized
+	// aggregations in Eqs. 2 and 4; larger on-chip storage keeps more
+	// partial sums resident and shortens the waves.
+	resident := d.OnChipBytes / b.RPVars().Total()
+	if resident > 1 {
+		resident = 1
+	}
+	syncScale := 0.7 + 0.3*(1-resident)
+	syncOps := syncScale * float64(b.Iters) * float64(b.BatchSize*b.NumL*b.NumH) / 256
+	return LayerTime{
+		Kind:    workload.LayerHCaps,
+		Compute: cost.FLOPs / (d.PeakFLOPS() * rpEff),
+		Memory:  d.rpTraffic(b) * d.rpPressure(b) / (d.MemBandwidth * rpBWEff),
+		Sync:    syncOps * syncCost,
+		Launch:  cost.Kernels * kernelLaunch,
+	}
+}
+
+// BatchTimes returns the per-batch time of each CapsNet stage in
+// network order (Conv, L Caps, H Caps/RP, FC).
+func (d Device) BatchTimes(b workload.Benchmark) []LayerTime {
+	return []LayerTime{
+		d.convLikeTime(b.ConvCost()),
+		d.convLikeTime(b.PrimaryCost()),
+		d.RPTime(b),
+		d.convLikeTime(b.FCCost()),
+	}
+}
+
+// InferenceRun summarizes a fixed-batch-count inference run (the
+// paper's Fig. 4 reports 100-batch runs; see EXPERIMENTS.md).
+type InferenceRun struct {
+	Device  string
+	Bench   string
+	Batches int
+	Layers  []LayerTime // per batch
+}
+
+// RunBatches is the number of batch inferences per characterization
+// run.
+const RunBatches = 100
+
+// Run simulates RunBatches batch inferences of b on d.
+func (d Device) Run(b workload.Benchmark) InferenceRun {
+	return InferenceRun{Device: d.Name, Bench: b.Name, Batches: RunBatches, Layers: d.BatchTimes(b)}
+}
+
+// BatchTotal returns the per-batch inference time.
+func (r InferenceRun) BatchTotal() float64 {
+	var t float64
+	for _, l := range r.Layers {
+		t += l.Total()
+	}
+	return t
+}
+
+// Total returns the whole-run inference time.
+func (r InferenceRun) Total() float64 { return r.BatchTotal() * float64(r.Batches) }
+
+// LayerShare returns the fraction of inference time spent in the given
+// layer kind.
+func (r InferenceRun) LayerShare(kind workload.LayerKind) float64 {
+	total := r.BatchTotal()
+	if total == 0 {
+		return 0
+	}
+	for _, l := range r.Layers {
+		if l.Kind == kind {
+			return l.Total() / total
+		}
+	}
+	return 0
+}
+
+// RPShare returns the routing procedure's fraction of inference time
+// (the paper's headline 74.62% average).
+func (r InferenceRun) RPShare() float64 { return r.LayerShare(workload.LayerHCaps) }
+
+// StallBreakdown decomposes the routing procedure's pipeline-stall
+// cycles (Fig. 5). Fractions sum to 1.
+type StallBreakdown struct {
+	Memory, Sync, Resource, InstFetch, Other float64
+}
+
+// RPStalls attributes RP pipeline stalls on this device: memory stalls
+// are transfer time not hidden by compute, synchronization stalls come
+// from aggregation barriers, resource stalls from occupancy limits on
+// the arithmetic pipeline, instruction fetch from the many small
+// kernels.
+func (d Device) RPStalls(b workload.Benchmark) StallBreakdown {
+	t := d.RPTime(b)
+	mem := t.Memory - t.Compute
+	if mem < 0 {
+		mem = 0
+	}
+	// Barrier waves stall warps on both shared/global memory
+	// dependencies and explicit __syncthreads; profilers attribute
+	// roughly 45% of that time to memory dependencies.
+	mem += 0.45 * t.Sync
+	sync := 0.55 * t.Sync
+	resource := 0.1 * (mem + sync)
+	fetch := t.Launch + 0.02*t.Sync
+	other := 0.04 * (mem + sync + resource + fetch)
+	total := mem + sync + resource + fetch + other
+	return StallBreakdown{
+		Memory:    mem / total,
+		Sync:      sync / total,
+		Resource:  resource / total,
+		InstFetch: fetch / total,
+		Other:     other / total,
+	}
+}
+
+// Utilization reports the modeled busy fractions of the arithmetic
+// (ALU) and load/store (LDST) pipelines during RP execution — the
+// paper's §3.2 observation of 38.6% ALU vs 85.9% LDST on the P100.
+func (d Device) Utilization(b workload.Benchmark) (alu, ldst float64) {
+	t := d.RPTime(b)
+	total := t.Total()
+	if total == 0 {
+		return 0, 0
+	}
+	// The arithmetic pipeline also issues address/index work during
+	// memory phases and participates in reduction barriers.
+	alu = (t.Compute + 0.25*t.Memory + 0.35*t.Sync) / total
+	if alu > 1 {
+		alu = 1
+	}
+	// The LDST pipeline also serves the barrier traffic through
+	// shared memory.
+	ldst = (t.Memory + 0.85*t.Sync) / total
+	if ldst > 1 {
+		ldst = 1
+	}
+	return alu, ldst
+}
+
+// IntermediateRatio returns Fig. 6a's ratio of RP intermediate-variable
+// size to this device's on-chip storage.
+func (d Device) IntermediateRatio(b workload.Benchmark) float64 {
+	return b.RPVars().Total() / d.OnChipBytes
+}
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%d cores @ %.0f MHz, %.2f MB on-chip, %s %.0f GB/s)",
+		d.Name, d.Cores, d.ClockHz/1e6, d.OnChipBytes/(1<<20), d.MemName, d.MemBandwidth/1e9)
+}

@@ -1,0 +1,313 @@
+package gpusim
+
+import (
+	"testing"
+
+	"pimcapsnet/internal/workload"
+)
+
+func allBench() []workload.Benchmark { return workload.Benchmarks }
+
+func TestDeviceCatalog(t *testing.T) {
+	p100 := TeslaP100()
+	if p100.Cores != 3584 || p100.MemBandwidth != 320e9 {
+		t.Fatalf("P100 spec wrong: %+v", p100)
+	}
+	if got := len(CharacterizationGPUs()); got != 4 {
+		t.Fatalf("CharacterizationGPUs = %d devices", got)
+	}
+	if got := len(BandwidthGPUs()); got != 4 {
+		t.Fatalf("BandwidthGPUs = %d devices", got)
+	}
+	// Fig. 6 device ordering by on-chip storage.
+	prev := 0.0
+	for _, d := range CharacterizationGPUs() {
+		if d.OnChipBytes <= prev {
+			t.Fatalf("CharacterizationGPUs not ordered by on-chip storage at %s", d.Name)
+		}
+		prev = d.OnChipBytes
+	}
+	// Fig. 7 device ordering by bandwidth.
+	prev = 0
+	for _, d := range BandwidthGPUs() {
+		if d.MemBandwidth <= prev {
+			t.Fatalf("BandwidthGPUs not ordered by bandwidth at %s", d.Name)
+		}
+		prev = d.MemBandwidth
+	}
+	if TeslaP100().String() == "" {
+		t.Fatal("empty device string")
+	}
+}
+
+func TestRPDominatesInference(t *testing.T) {
+	// Fig. 4's headline: the routing procedure is the bottleneck —
+	// on average ≈ 3/4 of inference time, and > 60% for every
+	// benchmark.
+	d := TeslaP100()
+	var avg float64
+	for _, b := range allBench() {
+		share := d.Run(b).RPShare()
+		if share < 0.6 || share > 0.99 {
+			t.Fatalf("%s RP share %.2f outside [0.6, 0.99]", b.Name, share)
+		}
+		avg += share
+	}
+	avg /= float64(len(allBench()))
+	if avg < 0.70 || avg < 0.6 || avg > 0.88 {
+		t.Fatalf("average RP share %.3f, paper reports 0.7462", avg)
+	}
+}
+
+func TestLayerSharesSumToOne(t *testing.T) {
+	d := TeslaP100()
+	for _, b := range allBench() {
+		r := d.Run(b)
+		sum := r.LayerShare(workload.LayerConv) + r.LayerShare(workload.LayerLCaps) +
+			r.LayerShare(workload.LayerHCaps) + r.LayerShare(workload.LayerFC)
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s layer shares sum to %v", b.Name, sum)
+		}
+	}
+}
+
+func TestBatchSizeGrowsTimeAndRPShare(t *testing.T) {
+	// Observation 1 (Fig. 4): MN1 → MN3 increases both total time and
+	// the RP proportion.
+	d := TeslaP100()
+	mn1, _ := workload.ByName("Caps-MN1")
+	mn2, _ := workload.ByName("Caps-MN2")
+	mn3, _ := workload.ByName("Caps-MN3")
+	t1, t2, t3 := d.Run(mn1), d.Run(mn2), d.Run(mn3)
+	if !(t1.Total() < t2.Total() && t2.Total() < t3.Total()) {
+		t.Fatalf("time not increasing with batch size: %v %v %v", t1.Total(), t2.Total(), t3.Total())
+	}
+	if !(t1.RPShare() < t3.RPShare()) {
+		t.Fatalf("RP share not expanding with batch size: %v vs %v", t1.RPShare(), t3.RPShare())
+	}
+}
+
+func TestNetworkScalingGrowsTime(t *testing.T) {
+	// Observation 2: time grows with network size (L caps, H caps,
+	// iterations).
+	d := TeslaP100()
+	for _, pair := range [][2]string{
+		{"Caps-CF1", "Caps-CF3"}, // more L capsules
+		{"Caps-EN1", "Caps-EN3"}, // more H capsules
+		{"Caps-SV1", "Caps-SV3"}, // more iterations
+	} {
+		a, _ := workload.ByName(pair[0])
+		b, _ := workload.ByName(pair[1])
+		if d.Run(a).Total() >= d.Run(b).Total() {
+			t.Fatalf("%s should be slower than %s", pair[1], pair[0])
+		}
+	}
+}
+
+func TestStallBreakdownMatchesPaperShape(t *testing.T) {
+	// Fig. 5: memory access is the largest stall contributor
+	// (paper avg 44.64%) with synchronization second (34.45%).
+	d := TeslaP100()
+	var mem, sync float64
+	for _, b := range allBench() {
+		s := d.RPStalls(b)
+		total := s.Memory + s.Sync + s.Resource + s.InstFetch + s.Other
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("%s stall fractions sum to %v", b.Name, total)
+		}
+		if s.Memory <= s.Sync {
+			t.Fatalf("%s memory stalls (%.2f) must exceed sync stalls (%.2f)", b.Name, s.Memory, s.Sync)
+		}
+		mem += s.Memory
+		sync += s.Sync
+	}
+	mem /= float64(len(allBench()))
+	sync /= float64(len(allBench()))
+	if mem < 0.35 || mem > 0.60 {
+		t.Fatalf("average memory stall share %.3f, paper reports 0.4464", mem)
+	}
+	if sync < 0.25 || sync > 0.45 {
+		t.Fatalf("average sync stall share %.3f, paper reports 0.3445", sync)
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	// §3.2: ALU lightly utilized (38.6% avg) while LDST is stressed
+	// (85.9% avg).
+	d := TeslaP100()
+	var alu, ldst float64
+	for _, b := range allBench() {
+		a, l := d.Utilization(b)
+		if a >= l {
+			t.Fatalf("%s ALU util %.2f not below LDST util %.2f", b.Name, a, l)
+		}
+		alu += a
+		ldst += l
+	}
+	alu /= float64(len(allBench()))
+	ldst /= float64(len(allBench()))
+	if alu < 0.2 || alu > 0.55 {
+		t.Fatalf("avg ALU util %.3f, paper reports 0.386", alu)
+	}
+	if ldst < 0.7 || ldst > 1.0 {
+		t.Fatalf("avg LDST util %.3f, paper reports 0.859", ldst)
+	}
+}
+
+func TestIntermediateRatiosMatchFig6a(t *testing.T) {
+	// Fig. 6a: ratios range from ~40× to ~300× across benchmarks and
+	// GPUs, and shrink as on-chip storage grows.
+	for _, b := range allBench() {
+		prev := 1e18
+		for _, d := range CharacterizationGPUs() {
+			r := d.IntermediateRatio(b)
+			if r < 2 || r > 500 {
+				t.Fatalf("%s on %s ratio %.0f out of plausible range", b.Name, d.Name, r)
+			}
+			if r >= prev {
+				t.Fatalf("ratio must shrink with larger storage (%s)", d.Name)
+			}
+			prev = r
+		}
+	}
+	// Spot value: Caps-MN3 on P100 (5.31MB): û ≈ 221MB → ratio ≈ 42×.
+	mn3, _ := workload.ByName("Caps-MN3")
+	r := TeslaP100().IntermediateRatio(mn3)
+	if r < 35 || r > 50 {
+		t.Fatalf("Caps-MN3/P100 ratio %.1f, expected ≈ 42", r)
+	}
+}
+
+func TestOnChipScalingModest(t *testing.T) {
+	// Fig. 6b: growing on-chip storage 1.73MB → 16MB buys only a
+	// modest RP speedup (paper ≈ 11%; must stay under 1.3×).
+	base := TeslaP100()
+	var sum float64
+	for _, b := range allBench() {
+		small := base.WithOnChip(1.73 * (1 << 20)).RPTime(b).Total()
+		large := base.WithOnChip(16 << 20).RPTime(b).Total()
+		sp := small / large
+		if sp < 1.0 {
+			t.Fatalf("%s: larger cache slowed RP down (%.3f)", b.Name, sp)
+		}
+		sum += sp
+	}
+	avg := sum / float64(len(allBench()))
+	if avg < 1.02 || avg > 1.3 {
+		t.Fatalf("avg on-chip scaling speedup %.3f, paper reports ≈ 1.11", avg)
+	}
+}
+
+func TestBandwidthScalingModest(t *testing.T) {
+	// Fig. 7: 288 → 897 GB/s buys only ≈ 26% on RP.
+	k40 := TeslaK40m()
+	var sum float64
+	for _, b := range allBench() {
+		sp := k40.RPTime(b).Total() / TeslaV100().RPTime(b).Total()
+		sum += sp
+	}
+	avg := sum / float64(len(allBench()))
+	if avg < 1.1 || avg > 1.6 {
+		t.Fatalf("avg HBM2-vs-GDDR5 RP speedup %.3f, paper reports ≈ 1.26", avg)
+	}
+	// Monotone across the four memories.
+	b := allBench()[0]
+	prev := 1e18
+	for _, d := range BandwidthGPUs() {
+		tt := d.RPTime(b).Total()
+		if tt >= prev {
+			t.Fatalf("RP time not improving with bandwidth at %s", d.Name)
+		}
+		prev = tt
+	}
+}
+
+func TestIdealCacheBarelyHelps(t *testing.T) {
+	// GPU-ICP buys ~1% (paper: 1.14%) — the intermediates are simply
+	// too large for any replacement policy.
+	base := TeslaP100()
+	icp := base
+	icp.IdealCache = true
+	var sum float64
+	for _, b := range allBench() {
+		sum += base.RPTime(b).Total() / icp.RPTime(b).Total()
+	}
+	avg := sum / float64(len(allBench()))
+	if avg < 1.0 || avg > 1.06 {
+		t.Fatalf("GPU-ICP speedup %.4f, paper reports 1.0114", avg)
+	}
+}
+
+func TestLayerTimeTotalOverlapsComputeAndMemory(t *testing.T) {
+	lt := LayerTime{Compute: 2, Memory: 5, Sync: 1, Launch: 0.5}
+	if lt.Total() != 6.5 {
+		t.Fatalf("Total = %v, want 6.5 (max(2,5)+1+0.5)", lt.Total())
+	}
+	lt = LayerTime{Compute: 7, Memory: 5}
+	if lt.Total() != 7 {
+		t.Fatalf("Total = %v, want 7", lt.Total())
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	d := TeslaP100()
+	b := allBench()[0]
+	r := d.Run(b)
+	if r.Batches != RunBatches {
+		t.Fatalf("Batches = %d", r.Batches)
+	}
+	if r.Total() != r.BatchTotal()*float64(RunBatches) {
+		t.Fatal("Total must be BatchTotal × Batches")
+	}
+	if r.LayerShare(workload.LayerKind(99)) != 0 {
+		t.Fatal("unknown layer kind must have zero share")
+	}
+}
+
+func TestAbsoluteTimesPlausible(t *testing.T) {
+	// Fig. 4's red line spans roughly 1–16 seconds for 100-batch
+	// runs; the model must stay in that order of magnitude.
+	d := TeslaP100()
+	for _, b := range allBench() {
+		total := d.Run(b).Total()
+		if total < 0.5 || total > 60 {
+			t.Fatalf("%s total %v s implausible", b.Name, total)
+		}
+	}
+}
+
+func TestWithMemoryAndOnChipOverrides(t *testing.T) {
+	d := TeslaP100().WithMemory("HBM2", 897e9).WithOnChip(16 << 20)
+	if d.MemName != "HBM2" || d.MemBandwidth != 897e9 || d.OnChipBytes != 16<<20 {
+		t.Fatalf("overrides not applied: %+v", d)
+	}
+	// The original value object is unchanged (value semantics).
+	if TeslaP100().MemBandwidth != 320e9 {
+		t.Fatal("WithMemory mutated the prototype")
+	}
+}
+
+func TestRPTimeComponentsPositive(t *testing.T) {
+	d := TeslaP100()
+	for _, b := range allBench() {
+		lt := d.RPTime(b)
+		if lt.Compute <= 0 || lt.Memory <= 0 || lt.Sync <= 0 || lt.Launch <= 0 {
+			t.Fatalf("%s: non-positive component %+v", b.Name, lt)
+		}
+		if lt.Total() < lt.Memory {
+			t.Fatalf("%s: total below memory time", b.Name)
+		}
+	}
+}
+
+func TestPressureGrowsWithBatch(t *testing.T) {
+	d := TeslaP100()
+	mn1, _ := workload.ByName("Caps-MN1")
+	mn3, _ := workload.ByName("Caps-MN3")
+	if d.rpPressure(mn3) <= d.rpPressure(mn1) {
+		t.Fatal("capacity pressure must grow with batch size")
+	}
+	if d.rpPressure(mn1) < 1 {
+		t.Fatal("pressure multiplier below 1")
+	}
+}

@@ -1,0 +1,109 @@
+package hmc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Location identifies where a block lives inside the cube.
+type Location struct {
+	Vault, Bank int
+}
+
+// Mapping translates a byte address to its vault and bank.
+type Mapping interface {
+	Name() string
+	Locate(addr uint64) Location
+}
+
+// DefaultMapping is the HMC Gen3 sequential-interleave mapping of
+// Fig. 13a: the lowest 4 bits address within a block; block addresses
+// are composed (low → high) of the block-in-sub-page field, the 5-bit
+// vault ID, the 4-bit bank ID and the sub-page ID. Consecutive
+// sub-pages therefore spread across vaults first — good for host
+// bandwidth, terrible for keeping a PE's working set vault-local.
+type DefaultMapping struct {
+	Cfg Config
+}
+
+// Name implements Mapping.
+func (DefaultMapping) Name() string { return "default-sequential-interleave" }
+
+// Locate implements Mapping.
+func (m DefaultMapping) Locate(addr uint64) Location {
+	cfg := m.Cfg
+	block := addr >> uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	spBits := uint(bits.TrailingZeros(uint(cfg.SubPageBytes / cfg.BlockBytes)))
+	vaultBits := uint(bits.TrailingZeros(uint(cfg.Vaults)))
+	vault := int((block >> spBits) & uint64(cfg.Vaults-1))
+	bank := int((block >> (spBits + vaultBits)) & uint64(cfg.BanksPerVault-1))
+	return Location{Vault: vault, Bank: bank}
+}
+
+// CustomMapping is the paper's mapping of Fig. 13b: the vault ID moves
+// to the highest block-address field so that consecutive data stays in
+// one vault (inter-vault requirement, §5.3.1), consecutive sub-pages
+// spread across the 16 banks inside the vault (so concurrent PE
+// requests hit different banks), and the sub-page size is chosen per
+// request by indicator bits 1–3 of the otherwise-ignored low nibble so
+// one PE's consecutive blocks stay within a single bank.
+type CustomMapping struct {
+	Cfg Config
+}
+
+// Name implements Mapping.
+func (CustomMapping) Name() string { return "pim-capsnet-custom" }
+
+// SubPageBytesFor decodes the indicator bits (bits 1–3) of addr:
+// values 0–4 select 16, 32, 64, 128 or 256-byte sub-pages.
+func (m CustomMapping) SubPageBytesFor(addr uint64) int {
+	ind := int((addr >> 1) & 0x7)
+	if ind > 4 {
+		ind = 4
+	}
+	return m.Cfg.BlockBytes << uint(ind)
+}
+
+// Locate implements Mapping.
+func (m CustomMapping) Locate(addr uint64) Location {
+	cfg := m.Cfg
+	block := addr >> uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	spBytes := m.SubPageBytesFor(addr)
+	spBits := uint(bits.TrailingZeros(uint(spBytes / cfg.BlockBytes)))
+	vaultBits := uint(bits.TrailingZeros(uint(cfg.Vaults)))
+
+	// Vault ID occupies the highest field of the block address.
+	capBlocks := cfg.Capacity / uint64(cfg.BlockBytes)
+	totalBits := uint(bits.Len64(capBlocks - 1))
+	vault := int((block >> (totalBits - vaultBits)) & uint64(cfg.Vaults-1))
+	bank := int((block >> spBits) & uint64(cfg.BanksPerVault-1))
+	return Location{Vault: vault, Bank: bank}
+}
+
+// VaultBase returns the lowest byte address mapped to the given vault
+// under the custom mapping — useful for laying out one vault's snippet
+// data.
+func (m CustomMapping) VaultBase(vault int) uint64 {
+	cfg := m.Cfg
+	capBlocks := cfg.Capacity / uint64(cfg.BlockBytes)
+	totalBits := uint(bits.Len64(capBlocks - 1))
+	vaultBits := uint(bits.TrailingZeros(uint(cfg.Vaults)))
+	blockBits := uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	return uint64(vault) << (totalBits - vaultBits + blockBits)
+}
+
+var (
+	_ Mapping = DefaultMapping{}
+	_ Mapping = CustomMapping{}
+)
+
+func init() {
+	// The mappings rely on power-of-two geometry; fail fast if the
+	// default config ever drifts.
+	cfg := DefaultConfig()
+	for _, v := range []int{cfg.Vaults, cfg.BanksPerVault, cfg.BlockBytes, cfg.SubPageBytes} {
+		if v&(v-1) != 0 {
+			panic(fmt.Sprintf("hmc: geometry value %d must be a power of two", v))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package hmc models the Hybrid Memory Cube that hosts PIM-CapsNet's
+// in-memory accelerators: the vault/bank geometry of the HMC 2.1
+// specification, the default and customized block-address mappings of
+// Fig. 13, a discrete vault-level simulator that exposes bank
+// conflicts and vault request stalls (VRS), and a crossbar model for
+// packetized inter-vault transfers. The contention behaviour that
+// Figs. 16a attributes the design wins to (crossbar stalls for
+// PIM-Intra, VRS for PIM-Inter) emerges from simulated request
+// streams rather than closed forms.
+package hmc
+
+// Config describes an HMC cube (Table 4: 8 GB, 32 vaults, 16 banks per
+// vault, 320 GB/s external, 512 GB/s internal).
+type Config struct {
+	Vaults        int
+	BanksPerVault int
+	// Capacity in bytes.
+	Capacity uint64
+	// ExternalBW is the SerDes link bandwidth to the host (bytes/s),
+	// InternalBW the aggregate TSV bandwidth (bytes/s).
+	ExternalBW, InternalBW float64
+	// ClockHz is the logic-layer clock the vault controller and PEs
+	// run at (312.5 MHz default, scalable for Fig. 18).
+	ClockHz float64
+	// BlockBytes is the memory access granularity (16 B per the
+	// spec); SubPageBytes is the MAX_BLOCK unit, set per request by
+	// the indicator bits of the custom mapping (32–256 B).
+	BlockBytes   int
+	SubPageBytes int
+	// BankBusyCycles is how long one block access occupies a DRAM
+	// bank (logic-layer cycles).
+	BankBusyCycles int
+	// IssueCycles is the sub-memory controller's command+data cadence:
+	// one request can issue every IssueCycles cycles.
+	IssueCycles int
+	// PacketOverheadBytes is the head+tail overhead of one
+	// inter-vault packet (SIZE_pkt in Table 3).
+	PacketOverheadBytes int
+	// PEsPerVault is the number of processing elements integrated
+	// into each vault's logic layer (§5.2.1).
+	PEsPerVault int
+}
+
+// DefaultConfig returns the paper's HMC configuration.
+func DefaultConfig() Config {
+	return Config{
+		Vaults:              32,
+		BanksPerVault:       16,
+		Capacity:            8 << 30,
+		ExternalBW:          320e9,
+		InternalBW:          512e9,
+		ClockHz:             312.5e6,
+		BlockBytes:          16,
+		SubPageBytes:        256,
+		BankBusyCycles:      8,
+		IssueCycles:         3,
+		PacketOverheadBytes: 16,
+		PEsPerVault:         16,
+	}
+}
+
+// WithClock returns a copy of c at a different logic-layer frequency
+// (the Fig. 18 sweep: 312.5, 625, 937.5 MHz).
+func (c Config) WithClock(hz float64) Config {
+	c.ClockHz = hz
+	return c
+}
+
+// VaultBW returns the per-vault TSV bandwidth in bytes/s.
+func (c Config) VaultBW() float64 { return c.InternalBW / float64(c.Vaults) }
+
+// BlocksOf returns how many blocks cover n bytes.
+func (c Config) BlocksOf(bytes float64) float64 {
+	return bytes / float64(c.BlockBytes)
+}

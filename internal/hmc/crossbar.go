@@ -1,0 +1,87 @@
+package hmc
+
+import "math/bits"
+
+// VaultTopNaiveMapping is the intermediate mapping of the PIM-Inter
+// design point: the vault ID is moved to the highest block-address
+// field (so snippets stay vault-local, §5.3.1's first step) but the
+// bank field stays high within the vault, so a vault's contiguous
+// snippet region falls into one bank and concurrent PE requests
+// serialize — the bank-conflict problem the custom sub-page mapping
+// then solves.
+type VaultTopNaiveMapping struct {
+	Cfg Config
+}
+
+// Name implements Mapping.
+func (VaultTopNaiveMapping) Name() string { return "vault-top-naive-banks" }
+
+// Locate implements Mapping.
+func (m VaultTopNaiveMapping) Locate(addr uint64) Location {
+	cfg := m.Cfg
+	block := addr >> uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	capBlocks := cfg.Capacity / uint64(cfg.BlockBytes)
+	totalBits := uint(bits.Len64(capBlocks - 1))
+	vaultBits := uint(bits.TrailingZeros(uint(cfg.Vaults)))
+	bankBits := uint(bits.TrailingZeros(uint(cfg.BanksPerVault)))
+	vault := int((block >> (totalBits - vaultBits)) & uint64(cfg.Vaults-1))
+	bank := int((block >> (totalBits - vaultBits - bankBits)) & uint64(cfg.BanksPerVault-1))
+	return Location{Vault: vault, Bank: bank}
+}
+
+var _ Mapping = VaultTopNaiveMapping{}
+
+// Crossbar models the logic-layer switch connecting vaults to each
+// other and to the SerDes links. Transfers are packetized; each packet
+// pays PacketOverheadBytes of head/tail. Ports are the bottleneck:
+// each vault port sustains VaultBW, the switch in aggregate sustains
+// InternalBW.
+type Crossbar struct {
+	Cfg Config
+}
+
+// packetBytes returns wire bytes for a payload split into packets of
+// at most payloadPerPacket bytes.
+func (x Crossbar) packetBytes(payload, packets float64) float64 {
+	return payload + packets*float64(x.Cfg.PacketOverheadBytes)
+}
+
+// GatherTime is an all-to-one transfer (e.g. collecting pre-aggregated
+// b_ij partials into one vault): the destination port serializes every
+// source's packets.
+func (x Crossbar) GatherTime(payloadBytes, packets float64) float64 {
+	return x.packetBytes(payloadBytes, packets) / x.Cfg.VaultBW()
+}
+
+// ScatterTime is a one-to-all transfer (e.g. broadcasting updated
+// c_ij): the source port serializes.
+func (x Crossbar) ScatterTime(payloadBytes, packets float64) float64 {
+	return x.packetBytes(payloadBytes, packets) / x.Cfg.VaultBW()
+}
+
+// UniformTime is an all-to-all transfer with balanced pairs, limited
+// by aggregate switch bandwidth.
+func (x Crossbar) UniformTime(payloadBytes, packets float64) float64 {
+	return x.packetBytes(payloadBytes, packets) / x.Cfg.InternalBW
+}
+
+// RemoteAccessTime is the crossbar cost of servicing block requests
+// that missed their local vault (the PIM-Intra failure mode: compute
+// sits in one place while data interleaves across all vaults, so
+// almost every access crosses the switch). Concurrent remote traffic
+// from all vaults' PEs congests the switch: effective bandwidth is the
+// aggregate internal bandwidth derated by the congestion factor of
+// fine-grained (block-sized) packets.
+func (x Crossbar) RemoteAccessTime(blocks float64) float64 {
+	payload := blocks * float64(x.Cfg.BlockBytes)
+	wire := x.packetBytes(payload, blocks) // one packet per block
+	// Fine-grained all-to-all traffic achieves roughly half the
+	// switch's aggregate bandwidth (head-of-line blocking).
+	return wire / (0.5 * x.Cfg.InternalBW)
+}
+
+// HostTransferTime is the cost of moving bytes between the host GPU
+// and the cube over the external SerDes links.
+func (x Crossbar) HostTransferTime(bytes float64) float64 {
+	return bytes / x.Cfg.ExternalBW
+}

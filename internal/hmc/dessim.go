@@ -1,0 +1,124 @@
+package hmc
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/des"
+)
+
+// DetailedVaultResult is the event-driven counterpart of VaultResult,
+// with queueing statistics the cycle-window model cannot expose.
+type DetailedVaultResult struct {
+	// Cycles is the makespan in logic-layer cycles.
+	Cycles float64
+	// Local/Remote request counts (remote requests leave for the
+	// crossbar immediately, as in SimulateVault).
+	Local, Remote uint64
+	// ControllerUtil is the sub-memory controller's busy fraction;
+	// MeanBankWait the average cycles a request queued at its bank.
+	ControllerUtil float64
+	MeanBankWait   float64
+	// PeakBankQueue is the deepest bank queue observed — the VRS
+	// pressure signal the paper's custom mapping removes.
+	PeakBankQueue int
+	// BankUtil is the per-bank busy fraction.
+	BankUtil []float64
+}
+
+// CyclesPerRequest returns makespan per local request.
+func (r DetailedVaultResult) CyclesPerRequest() float64 {
+	if r.Local == 0 {
+		return 0
+	}
+	return r.Cycles / float64(r.Local)
+}
+
+// SimulateVaultDES runs an access pattern through an event-driven
+// vault model: the sub-memory controller is a capacity-1 server
+// holding each request for IssueCycles; every DRAM bank is a
+// capacity-1 server holding each granted request for BankBusyCycles.
+// A PE issues its requests in order — the next request enters the
+// controller as soon as the previous one has issued (requests
+// pipeline into the banks, matching the window model's semantics).
+//
+// The model is the high-fidelity cross-check of SimulateVault: both
+// must agree on throughput for the contention-free custom mapping
+// (≈ IssueCycles per request) and the serialized naive mapping
+// (≈ BankBusyCycles per request); see the cross-validation tests.
+func SimulateVaultDES(cfg Config, p AccessPattern) DetailedVaultResult {
+	if p.PEs <= 0 || p.ReqsPerPE <= 0 {
+		return DetailedVaultResult{}
+	}
+	eng := des.New()
+	controller := des.NewResource(eng, "controller", 1)
+	banks := make([]*des.Resource, cfg.BanksPerVault)
+	for i := range banks {
+		banks[i] = des.NewResource(eng, fmt.Sprintf("bank%d", i), 1)
+	}
+	issue := float64(cfg.IssueCycles)
+	if issue < 1 {
+		issue = 1
+	}
+	busy := float64(cfg.BankBusyCycles)
+
+	var res DetailedVaultResult
+
+	// Pre-resolve the request streams.
+	streams := make([][]int, p.PEs) // bank per request, -1 remote
+	for pe := 0; pe < p.PEs; pe++ {
+		streams[pe] = make([]int, p.ReqsPerPE)
+		for i := 0; i < p.ReqsPerPE; i++ {
+			loc := p.Mapping.Locate(p.AddrFor(pe, i))
+			if p.Vault >= 0 && loc.Vault != p.Vault {
+				streams[pe][i] = -1
+				res.Remote++
+			} else {
+				streams[pe][i] = loc.Bank
+				res.Local++
+			}
+		}
+	}
+
+	// Each PE is a sequential issuer: request i+1 enters the
+	// controller queue once request i has finished its issue phase.
+	var issueNext func(pe, i int)
+	issueNext = func(pe, i int) {
+		for i < p.ReqsPerPE && streams[pe][i] == -1 {
+			i++ // remote: hand to crossbar, no vault resources
+		}
+		if i >= p.ReqsPerPE {
+			return
+		}
+		bank := streams[pe][i]
+		controller.Acquire(func(releaseCtl func()) {
+			eng.After(issue, func() {
+				releaseCtl()
+				// The issued request occupies its bank; the PE moves on.
+				banks[bank].Acquire(func(releaseBank func()) {
+					eng.After(busy, releaseBank)
+				})
+				issueNext(pe, i+1)
+			})
+		})
+	}
+	for pe := 0; pe < p.PEs; pe++ {
+		issueNext(pe, 0)
+	}
+	res.Cycles = eng.Run()
+	res.ControllerUtil = controller.Utilization()
+	var wait float64
+	var served uint64
+	res.BankUtil = make([]float64, len(banks))
+	for i, b := range banks {
+		wait += b.TotalWait
+		served += b.Served
+		res.BankUtil[i] = b.Utilization()
+		if b.PeakQueue > res.PeakBankQueue {
+			res.PeakBankQueue = b.PeakQueue
+		}
+	}
+	if served > 0 {
+		res.MeanBankWait = wait / float64(served)
+	}
+	return res
+}

@@ -1,0 +1,99 @@
+package hmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDESCustomMappingIssueLimited(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	p := StridedItemPattern(cfg, m, 0, cfg.PEsPerVault, 64, 64, m.VaultBase(0))
+	r := SimulateVaultDES(cfg, p)
+	if r.Remote != 0 {
+		t.Fatalf("%d remote requests", r.Remote)
+	}
+	cpr := r.CyclesPerRequest()
+	if math.Abs(cpr-float64(cfg.IssueCycles)) > 0.5 {
+		t.Fatalf("custom mapping cycles/request %.2f, want ≈%d (issue-limited)", cpr, cfg.IssueCycles)
+	}
+	if r.ControllerUtil < 0.9 {
+		t.Fatalf("controller utilization %.2f, want ≈1 when issue-limited", r.ControllerUtil)
+	}
+	if r.PeakBankQueue > 3 {
+		t.Fatalf("peak bank queue %d under the contention-free mapping", r.PeakBankQueue)
+	}
+}
+
+func TestDESNaiveMappingBankLimited(t *testing.T) {
+	cfg := DefaultConfig()
+	naive := VaultTopNaiveMapping{Cfg: cfg}
+	base := CustomMapping{Cfg: cfg}.VaultBase(0)
+	p := SnippetPattern(cfg, naive, 0, cfg.PEsPerVault, 256, base, cfg.SubPageBytes)
+	r := SimulateVaultDES(cfg, p)
+	cpr := r.CyclesPerRequest()
+	if math.Abs(cpr-float64(cfg.BankBusyCycles)) > 1 {
+		t.Fatalf("naive mapping cycles/request %.2f, want ≈%d (bank-limited)", cpr, cfg.BankBusyCycles)
+	}
+	// One bank saturated, the rest idle.
+	saturated := 0
+	for _, u := range r.BankUtil {
+		if u > 0.9 {
+			saturated++
+		}
+	}
+	if saturated != 1 {
+		t.Fatalf("%d saturated banks, want exactly 1 under the naive mapping", saturated)
+	}
+	if r.MeanBankWait <= 0 {
+		t.Fatal("bank-limited pattern must queue")
+	}
+	if r.PeakBankQueue < 5 {
+		t.Fatalf("peak bank queue %d suspiciously shallow for a serialized pattern", r.PeakBankQueue)
+	}
+}
+
+// TestDESCrossValidatesWindowSimulator is the two-simulator agreement
+// check: the fast window model (SimulateVault) and the event-driven
+// model (SimulateVaultDES) must report the same throughput within 25%
+// for both the optimized and the pathological mapping.
+func TestDESCrossValidatesWindowSimulator(t *testing.T) {
+	cfg := DefaultConfig()
+	cm := CustomMapping{Cfg: cfg}
+
+	cases := []struct {
+		name string
+		p    AccessPattern
+	}{
+		{"custom-strided", StridedItemPattern(cfg, cm, 0, cfg.PEsPerVault, 64, 64, cm.VaultBase(0))},
+		{"naive-snippets", SnippetPattern(cfg, VaultTopNaiveMapping{Cfg: cfg}, 0, cfg.PEsPerVault, 256, cm.VaultBase(0), cfg.SubPageBytes)},
+	}
+	for _, c := range cases {
+		window := SimulateVault(cfg, c.p).CyclesPerRequest()
+		detailed := SimulateVaultDES(cfg, c.p).CyclesPerRequest()
+		ratio := window / detailed
+		if ratio < 0.75 || ratio > 1.33 {
+			t.Fatalf("%s: window %.2f vs DES %.2f cycles/request (ratio %.2f)", c.name, window, detailed, ratio)
+		}
+	}
+}
+
+func TestDESEmptyPattern(t *testing.T) {
+	r := SimulateVaultDES(DefaultConfig(), AccessPattern{})
+	if r.Cycles != 0 || r.Local != 0 {
+		t.Fatalf("empty pattern simulated something: %+v", r)
+	}
+}
+
+func TestDESRemoteFiltering(t *testing.T) {
+	cfg := DefaultConfig()
+	m := DefaultMapping{Cfg: cfg}
+	p := SnippetPattern(cfg, m, 0, cfg.PEsPerVault, 64, 0, cfg.SubPageBytes)
+	r := SimulateVaultDES(cfg, p)
+	if r.Remote == 0 {
+		t.Fatal("default interleave should produce remote requests")
+	}
+	if r.Local+r.Remote != uint64(cfg.PEsPerVault*p.ReqsPerPE) {
+		t.Fatal("request conservation violated")
+	}
+}

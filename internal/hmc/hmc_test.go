@@ -1,0 +1,236 @@
+package hmc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Vaults != 32 || cfg.BanksPerVault != 16 {
+		t.Fatalf("geometry %d vaults × %d banks, want 32×16", cfg.Vaults, cfg.BanksPerVault)
+	}
+	if cfg.ExternalBW != 320e9 || cfg.InternalBW != 512e9 {
+		t.Fatalf("bandwidths %v/%v", cfg.ExternalBW, cfg.InternalBW)
+	}
+	if cfg.ClockHz != 312.5e6 {
+		t.Fatalf("clock %v", cfg.ClockHz)
+	}
+	if got := cfg.WithClock(625e6).ClockHz; got != 625e6 {
+		t.Fatalf("WithClock = %v", got)
+	}
+	if cfg.VaultBW() != 512e9/32 {
+		t.Fatalf("VaultBW = %v", cfg.VaultBW())
+	}
+	if cfg.BlocksOf(160) != 10 {
+		t.Fatalf("BlocksOf(160) = %v", cfg.BlocksOf(160))
+	}
+}
+
+func TestDefaultMappingInterleavesVaults(t *testing.T) {
+	cfg := DefaultConfig()
+	m := DefaultMapping{Cfg: cfg}
+	// Consecutive sub-pages must land in consecutive vaults.
+	for i := 0; i < 64; i++ {
+		addr := uint64(i * cfg.SubPageBytes)
+		loc := m.Locate(addr)
+		if loc.Vault != i%cfg.Vaults {
+			t.Fatalf("sub-page %d in vault %d, want %d", i, loc.Vault, i%cfg.Vaults)
+		}
+	}
+	// Blocks within one sub-page stay in one vault and bank.
+	first := m.Locate(0)
+	for b := 0; b < cfg.SubPageBytes/cfg.BlockBytes; b++ {
+		if m.Locate(uint64(b*cfg.BlockBytes)) != first {
+			t.Fatal("blocks within a sub-page must not move")
+		}
+	}
+}
+
+func TestCustomMappingVaultLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	// A vault's entire contiguous region maps to that vault.
+	for v := 0; v < cfg.Vaults; v++ {
+		base := m.VaultBase(v)
+		for off := uint64(0); off < 1<<16; off += 4096 {
+			if got := m.Locate(base + off).Vault; got != v {
+				t.Fatalf("offset %d of vault %d region mapped to vault %d", off, v, got)
+			}
+		}
+	}
+}
+
+func TestCustomMappingSpreadsSubPagesAcrossBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	// With a 64-byte sub-page indicator (ind=2), consecutive 64-byte
+	// items land in consecutive banks.
+	const item = 64
+	seen := map[int]bool{}
+	for i := 0; i < cfg.BanksPerVault; i++ {
+		addr := uint64(i*item) | (2 << 1)
+		seen[m.Locate(addr).Bank] = true
+	}
+	if len(seen) != cfg.BanksPerVault {
+		t.Fatalf("16 consecutive items hit only %d banks", len(seen))
+	}
+	// Blocks inside one item stay in one bank.
+	a := m.Locate(uint64(0) | (2 << 1))
+	b := m.Locate(uint64(48) | (2 << 1))
+	if a.Bank != b.Bank {
+		t.Fatal("blocks of one 64B item must share a bank")
+	}
+}
+
+func TestCustomMappingIndicatorDecoding(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	for ind, want := range []int{16, 32, 64, 128, 256} {
+		addr := uint64(ind) << 1
+		if got := m.SubPageBytesFor(addr); got != want {
+			t.Fatalf("indicator %d → %d bytes, want %d", ind, got, want)
+		}
+	}
+	// Out-of-range indicators clamp to 256.
+	if got := m.SubPageBytesFor(uint64(7) << 1); got != 256 {
+		t.Fatalf("indicator 7 → %d, want 256", got)
+	}
+}
+
+func TestVaultTopNaiveMappingKeepsVaultButConcentratesBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	m := VaultTopNaiveMapping{Cfg: cfg}
+	cm := CustomMapping{Cfg: cfg}
+	base := cm.VaultBase(3)
+	seen := map[int]bool{}
+	for off := uint64(0); off < 1<<16; off += uint64(cfg.BlockBytes) {
+		loc := m.Locate(base + off)
+		if loc.Vault != 3 {
+			t.Fatalf("naive mapping moved request out of vault 3 (got %d)", loc.Vault)
+		}
+		seen[loc.Bank] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("naive mapping spread a 64KB snippet over %d banks, expected 1", len(seen))
+	}
+}
+
+func TestMappingsCoverAllVaultsAndBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(raw uint64) bool {
+		addr := raw % cfg.Capacity
+		for _, m := range []Mapping{DefaultMapping{cfg}, CustomMapping{cfg}, VaultTopNaiveMapping{cfg}} {
+			loc := m.Locate(addr)
+			if loc.Vault < 0 || loc.Vault >= cfg.Vaults || loc.Bank < 0 || loc.Bank >= cfg.BanksPerVault {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateVaultStridedItemsLowStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	p := StridedItemPattern(cfg, m, 0, cfg.PEsPerVault, 64, 64, m.VaultBase(0))
+	r := SimulateVault(cfg, p)
+	if r.Remote != 0 {
+		t.Fatalf("strided pattern produced %d remote requests", r.Remote)
+	}
+	if r.StallFraction() > 0.15 {
+		t.Fatalf("custom mapping stall fraction %.2f, want near zero", r.StallFraction())
+	}
+	// Near issue-limited throughput: ~IssueCycles per request.
+	if cpr := r.CyclesPerRequest(); cpr > float64(cfg.IssueCycles)+0.5 {
+		t.Fatalf("custom mapping cycles/request %.2f, want ≈%d", cpr, cfg.IssueCycles)
+	}
+}
+
+func TestSimulateVaultNaiveMappingSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cm := CustomMapping{Cfg: cfg}
+	naive := VaultTopNaiveMapping{Cfg: cfg}
+	p := SnippetPattern(cfg, naive, 0, cfg.PEsPerVault, 256, cm.VaultBase(0), cfg.SubPageBytes)
+	r := SimulateVault(cfg, p)
+	if r.Remote != 0 {
+		t.Fatalf("naive snippet pattern produced %d remote requests", r.Remote)
+	}
+	// All PEs collide in one bank: requests serialize at
+	// BankBusyCycles each, so stalls dominate (the PIM-Inter VRS).
+	if r.StallFraction() < 0.5 {
+		t.Fatalf("naive mapping stall fraction %.2f, expected bank-conflict dominated", r.StallFraction())
+	}
+	if cpr := r.CyclesPerRequest(); cpr < float64(cfg.BankBusyCycles)*0.9 {
+		t.Fatalf("naive mapping cycles/request %.2f, want ≈%d", cpr, cfg.BankBusyCycles)
+	}
+}
+
+func TestSimulateVaultDefaultMappingMostlyRemote(t *testing.T) {
+	cfg := DefaultConfig()
+	m := DefaultMapping{Cfg: cfg}
+	p := SnippetPattern(cfg, m, 0, cfg.PEsPerVault, 256, 0, cfg.SubPageBytes)
+	r := SimulateVault(cfg, p)
+	total := float64(r.Local + r.Remote)
+	if float64(r.Remote)/total < 0.9 {
+		t.Fatalf("default interleave should send ~31/32 of requests remote, got %.2f", float64(r.Remote)/total)
+	}
+}
+
+func TestSimulateVaultEmptyPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	r := SimulateVault(cfg, AccessPattern{})
+	if r.Cycles != 0 || r.Local != 0 {
+		t.Fatalf("empty pattern simulated something: %+v", r)
+	}
+}
+
+func TestSimulateVaultConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	p := StridedItemPattern(cfg, m, 0, 4, 32, 64, m.VaultBase(0))
+	r := SimulateVault(cfg, p)
+	if r.Local+r.Remote != uint64(4*p.ReqsPerPE/1)*1 {
+		// ReqsPerPE already includes blocksPerItem; total must match.
+		t.Fatalf("requests not conserved: local %d remote %d, want %d", r.Local, r.Remote, 4*p.ReqsPerPE)
+	}
+}
+
+func TestCrossbarTimes(t *testing.T) {
+	cfg := DefaultConfig()
+	x := Crossbar{Cfg: cfg}
+	// Gather is port-limited: 16 KB + 100 packets × 16 B over 16 GB/s.
+	want := (16384.0 + 1600) / (512e9 / 32)
+	if got := x.GatherTime(16384, 100); got != want {
+		t.Fatalf("GatherTime = %v, want %v", got, want)
+	}
+	if x.ScatterTime(16384, 100) != want {
+		t.Fatal("ScatterTime must equal GatherTime for same payload")
+	}
+	if x.UniformTime(16384, 100) >= want {
+		t.Fatal("uniform all-to-all must beat all-to-one for the same bytes")
+	}
+	if x.HostTransferTime(320e9) != 1.0 {
+		t.Fatalf("HostTransferTime(320GB) = %v, want 1s", x.HostTransferTime(320e9))
+	}
+	// Remote block access pays per-block packet overhead and switch
+	// congestion: must cost more than twice the raw payload time.
+	blocks := 1000.0
+	raw := blocks * 16 / cfg.InternalBW
+	if x.RemoteAccessTime(blocks) < 2*raw {
+		t.Fatal("remote access should be substantially slower than raw payload streaming")
+	}
+}
+
+func BenchmarkSimulateVaultCustom(b *testing.B) {
+	cfg := DefaultConfig()
+	m := CustomMapping{Cfg: cfg}
+	p := StridedItemPattern(cfg, m, 0, cfg.PEsPerVault, 64, 64, m.VaultBase(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateVault(cfg, p)
+	}
+}

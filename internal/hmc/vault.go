@@ -1,0 +1,187 @@
+package hmc
+
+// AccessPattern describes the block-request streams a vault's PEs
+// issue during one compute phase. AddrFor returns the byte address of
+// the i-th request of PE p; the simulator maps it to a bank.
+type AccessPattern struct {
+	PEs       int
+	ReqsPerPE int
+	AddrFor   func(pe, i int) uint64
+	Mapping   Mapping
+	// Vault filters requests: only those mapped to this vault are
+	// serviced locally, the rest are counted as remote (they must
+	// cross the crossbar). Use -1 to treat every request as local.
+	Vault int
+}
+
+// VaultResult summarizes a simulated request window.
+type VaultResult struct {
+	// Cycles is the wall time of the window in logic-layer cycles.
+	Cycles uint64
+	// Local is the number of requests serviced by this vault's banks,
+	// Remote the number that mapped to other vaults.
+	Local, Remote uint64
+	// StallCycles counts cycles where requests were pending but none
+	// could issue because every target bank was busy — the paper's
+	// vault request stalls (VRS).
+	StallCycles uint64
+}
+
+// StallFraction returns VRS cycles as a fraction of the window.
+func (r VaultResult) StallFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StallCycles) / float64(r.Cycles)
+}
+
+// CyclesPerRequest returns the average service cost of a local
+// request, the throughput figure core scales full workloads by.
+func (r VaultResult) CyclesPerRequest() float64 {
+	if r.Local == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Local)
+}
+
+// SimulateVault runs the access pattern through one vault's
+// sub-memory controller and banks: each cycle the controller issues at
+// most one request (round-robin over PEs) whose target bank is free; a
+// bank stays busy for BankBusyCycles per block. Cycles with pending
+// requests but no issuable one are vault request stalls. The model is
+// deliberately small — it is run on windows of a few thousand
+// requests to extract throughput and VRS coefficients that core
+// scales to full workloads.
+func SimulateVault(cfg Config, p AccessPattern) VaultResult {
+	if p.PEs <= 0 || p.ReqsPerPE <= 0 {
+		return VaultResult{}
+	}
+	type peState struct {
+		next int // next request index
+	}
+	pes := make([]peState, p.PEs)
+	bankFree := make([]uint64, cfg.BanksPerVault)
+	banks := make([][]int, p.PEs) // precomputed bank per request, -1 = remote
+	var res VaultResult
+	for pe := 0; pe < p.PEs; pe++ {
+		banks[pe] = make([]int, p.ReqsPerPE)
+		for i := 0; i < p.ReqsPerPE; i++ {
+			loc := p.Mapping.Locate(p.AddrFor(pe, i))
+			if p.Vault >= 0 && loc.Vault != p.Vault {
+				banks[pe][i] = -1
+				res.Remote++
+			} else {
+				banks[pe][i] = loc.Bank
+			}
+		}
+	}
+
+	issue := uint64(cfg.IssueCycles)
+	if issue < 1 {
+		issue = 1
+	}
+	total := uint64(p.PEs) * uint64(p.ReqsPerPE)
+	done := res.Remote // remote requests leave immediately for the crossbar
+	var cycle, nextIssue uint64
+	rr := 0
+	for done < total {
+		// Skip remote requests at stream heads — they are handed to
+		// the crossbar without occupying a bank.
+		for pe := range pes {
+			for pes[pe].next < p.ReqsPerPE && banks[pe][pes[pe].next] == -1 {
+				pes[pe].next++
+			}
+		}
+		issued := false
+		pending := false
+		if cycle < nextIssue {
+			// Controller mid-transfer; not a bank-conflict stall.
+			cycle++
+			continue
+		}
+		for k := 0; k < p.PEs; k++ {
+			pe := (rr + k) % p.PEs
+			n := pes[pe].next
+			if n >= p.ReqsPerPE {
+				continue
+			}
+			pending = true
+			b := banks[pe][n]
+			if bankFree[b] <= cycle {
+				bankFree[b] = cycle + uint64(cfg.BankBusyCycles)
+				nextIssue = cycle + issue
+				pes[pe].next++
+				res.Local++
+				done++
+				rr = pe + 1
+				issued = true
+				break
+			}
+		}
+		if !issued && pending {
+			res.StallCycles++
+		}
+		cycle++
+		if !pending {
+			// Only remote requests remained; the window is over.
+			break
+		}
+	}
+	// Drain: the last issued request still occupies its bank.
+	res.Cycles = cycle + uint64(cfg.BankBusyCycles)
+	return res
+}
+
+// SnippetPattern lays PE snippets out contiguously: PE p owns a
+// contiguous chunk of chunkBytes starting at base + p·chunkBytes and
+// streams it block by block. Under the default mapping all chunks of
+// a vault collide in few banks; under the custom mapping consecutive
+// sub-pages interleave across banks. The subPageBytes argument is
+// encoded into the indicator bits the custom mapping reads.
+func SnippetPattern(cfg Config, m Mapping, vault, pes, reqsPerPE int, base uint64, subPageBytes int) AccessPattern {
+	ind := uint64(0)
+	for s := cfg.BlockBytes; s < subPageBytes; s <<= 1 {
+		ind++
+	}
+	chunk := uint64(reqsPerPE * cfg.BlockBytes)
+	return AccessPattern{
+		PEs:       pes,
+		ReqsPerPE: reqsPerPE,
+		Mapping:   m,
+		Vault:     vault,
+		AddrFor: func(pe, i int) uint64 {
+			addr := base + uint64(pe)*chunk + uint64(i*cfg.BlockBytes)
+			return (addr &^ 0xF) | (ind << 1)
+		},
+	}
+}
+
+// StridedItemPattern assigns work items round-robin to PEs: item j
+// (itemBytes contiguous bytes, one per capsule pair or vector) is
+// processed by PE j mod PEs. With the custom mapping's sub-page size
+// set to itemBytes, the 16 concurrently-processed items are 16
+// consecutive sub-pages and therefore hit 16 different banks — the
+// contention-free layout of §5.3.1.
+func StridedItemPattern(cfg Config, m Mapping, vault, pes, itemsPerPE, itemBytes int, base uint64) AccessPattern {
+	blocksPerItem := (itemBytes + cfg.BlockBytes - 1) / cfg.BlockBytes
+	if blocksPerItem < 1 {
+		blocksPerItem = 1
+	}
+	ind := uint64(0)
+	for s := cfg.BlockBytes; s < itemBytes && ind < 4; s <<= 1 {
+		ind++
+	}
+	return AccessPattern{
+		PEs:       pes,
+		ReqsPerPE: itemsPerPE * blocksPerItem,
+		Mapping:   m,
+		Vault:     vault,
+		AddrFor: func(pe, i int) uint64 {
+			item := i / blocksPerItem
+			blk := i % blocksPerItem
+			globalItem := item*pes + pe
+			addr := base + uint64(globalItem*itemBytes) + uint64(blk*cfg.BlockBytes)
+			return (addr &^ 0xF) | (ind << 1)
+		},
+	}
+}

@@ -1,0 +1,188 @@
+// Package pe models PIM-CapsNet's customized processing element
+// (paper §5.2.2, Fig. 11): a datapath of one FP32 multiplier, one
+// adder and one bit-shifter behind MUXes, configured per operation
+// into flows for multiply-accumulate, inverse square root,
+// exponential and division. The numerics of those flows live in
+// internal/fp32; this package models their timing, area and the
+// per-vault PE array's throughput.
+package pe
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/workload"
+)
+
+// Op identifies a PE operation (one flow configuration).
+type Op int
+
+// The PE's operation repertoire.
+const (
+	OpMAC Op = iota // flow 1-2: multiply, accumulate
+	OpAdd
+	OpMul
+	OpShift
+	OpInvSqrt // flow 3-2-1-2-1: shift, add, mul, add, mul
+	OpExp     // flow 1-2-2-3: mul, add, add, shift
+	OpRecip   // flow 3-1-1: shift, mul, mul (plus recovery multiply)
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpMAC:
+		return "mac"
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpShift:
+		return "shift"
+	case OpInvSqrt:
+		return "invsqrt"
+	case OpExp:
+		return "exp"
+	case OpRecip:
+		return "recip"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Spec describes one PE's datapath timing in cycles per operation.
+// The special functions occupy the shared adder/multiplier/shifter
+// for several cycles because they are built by chaining those units
+// (Fig. 11), so they do not pipeline.
+type Spec struct {
+	MAC, Add, Mul, Shift int
+	InvSqrt, Exp, Recip  int
+}
+
+// DefaultSpec returns the flow latencies of the paper's PE: simple ops
+// single-cycle, inverse square root five (3-2-1-2-1), exponential four
+// (1-2-2-3), reciprocal three plus one recovery multiply.
+func DefaultSpec() Spec {
+	return Spec{MAC: 1, Add: 1, Mul: 1, Shift: 1, InvSqrt: 5, Exp: 4, Recip: 4}
+}
+
+// Cycles returns the cycle cost of one operation.
+func (s Spec) Cycles(o Op) int {
+	switch o {
+	case OpMAC:
+		return s.MAC
+	case OpAdd:
+		return s.Add
+	case OpMul:
+		return s.Mul
+	case OpShift:
+		return s.Shift
+	case OpInvSqrt:
+		return s.InvSqrt
+	case OpExp:
+		return s.Exp
+	case OpRecip:
+		return s.Recip
+	}
+	panic(fmt.Sprintf("pe: unknown op %d", int(o)))
+}
+
+// OpCounts is an operation mix.
+type OpCounts struct {
+	MAC, Add, Mul, Shift, InvSqrt, Exp, Recip float64
+}
+
+// Add returns the elementwise sum of two mixes.
+func (c OpCounts) Plus(o OpCounts) OpCounts {
+	return OpCounts{
+		MAC: c.MAC + o.MAC, Add: c.Add + o.Add, Mul: c.Mul + o.Mul,
+		Shift: c.Shift + o.Shift, InvSqrt: c.InvSqrt + o.InvSqrt,
+		Exp: c.Exp + o.Exp, Recip: c.Recip + o.Recip,
+	}
+}
+
+// Scale returns the mix multiplied by f.
+func (c OpCounts) Scale(f float64) OpCounts {
+	return OpCounts{
+		MAC: c.MAC * f, Add: c.Add * f, Mul: c.Mul * f,
+		Shift: c.Shift * f, InvSqrt: c.InvSqrt * f,
+		Exp: c.Exp * f, Recip: c.Recip * f,
+	}
+}
+
+// Total returns the total number of operations.
+func (c OpCounts) Total() float64 {
+	return c.MAC + c.Add + c.Mul + c.Shift + c.InvSqrt + c.Exp + c.Recip
+}
+
+// Cycles returns the datapath cycles the mix occupies on one PE.
+func (s Spec) OpCycles(c OpCounts) float64 {
+	return c.MAC*float64(s.MAC) + c.Add*float64(s.Add) + c.Mul*float64(s.Mul) +
+		c.Shift*float64(s.Shift) + c.InvSqrt*float64(s.InvSqrt) +
+		c.Exp*float64(s.Exp) + c.Recip*float64(s.Recip)
+}
+
+// EquationOps returns the per-batch operation mix of one routing
+// equation (see Alg. 1 and the E models of Eqs. 6–11):
+//
+//	Eq. 1: CL MACs per û scalar (NB·NL·NH·CH outputs)
+//	Eq. 2: NL MACs per s scalar (NB·NH·CH outputs)
+//	Eq. 3: CH MACs (‖s‖²) + 1 add + 1 recip + 1 invsqrt + (CH+2) muls
+//	Eq. 4: CH MACs per agreement + 1 add (NB·NL·NH dots)
+//	Eq. 5: per b row element: 1 exp + accumulate; per c: 1 mul; per
+//	       row: 1 recip
+func EquationOps(b workload.Benchmark, eq workload.RPEquation) OpCounts {
+	nb, nl, nh := float64(b.BatchSize), float64(b.NumL), float64(b.NumH)
+	cl, ch := float64(b.DimL), float64(b.DimH)
+	switch eq {
+	case workload.EqPrediction:
+		return OpCounts{MAC: nb * nl * nh * ch * cl}
+	case workload.EqWeightedSum:
+		return OpCounts{MAC: nb * nh * ch * nl}
+	case workload.EqSquash:
+		vecs := nb * nh
+		return OpCounts{MAC: vecs * ch, Add: vecs, Recip: vecs, InvSqrt: vecs, Mul: vecs * (ch + 2)}
+	case workload.EqAgreement:
+		return OpCounts{MAC: nb * nl * nh * ch, Add: nb * nl * nh}
+	case workload.EqSoftmax:
+		elems := nl * nh
+		return OpCounts{Exp: elems, Add: elems, Mul: elems, Recip: nl}
+	}
+	panic(fmt.Sprintf("pe: unknown equation %v", eq))
+}
+
+// Array models one vault's PE array.
+type Array struct {
+	Spec    Spec
+	PEs     int
+	ClockHz float64
+}
+
+// Time returns the wall time for the array to execute the mix,
+// assuming work divides evenly across PEs (the intra-vault
+// distribution of §5.2.1 re-dimensions work to keep PEs busy).
+func (a Array) Time(c OpCounts) float64 {
+	if a.PEs <= 0 || a.ClockHz <= 0 {
+		return 0
+	}
+	return a.Spec.OpCycles(c) / float64(a.PEs) / a.ClockHz
+}
+
+// Area and power overheads from the paper's gate-level results (§6.5).
+const (
+	// LogicAreaMM2 is the area of the full PIM-CapsNet logic (16 PEs ×
+	// 32 vaults + operation controllers + RMAS) at 24 nm.
+	LogicAreaMM2 = 3.11
+	// HMCLogicAreaFraction is that area as a fraction of the HMC
+	// logic die.
+	HMCLogicAreaFraction = 0.0032
+	// AvgPowerW is the average power overhead of the logic design.
+	AvgPowerW = 2.24
+	// TDPHeadroomW is the thermal budget HMC can tolerate.
+	TDPHeadroomW = 10.0
+)
+
+// WithinThermalBudget reports whether a scaled design (power grows
+// roughly linearly with clock) stays inside the HMC thermal budget.
+func WithinThermalBudget(clockHz float64) bool {
+	base := 312.5e6
+	return AvgPowerW*clockHz/base <= TDPHeadroomW
+}

@@ -1,0 +1,121 @@
+package pe
+
+import (
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/workload"
+)
+
+func TestDefaultSpecLatencies(t *testing.T) {
+	s := DefaultSpec()
+	if s.Cycles(OpMAC) != 1 || s.Cycles(OpAdd) != 1 || s.Cycles(OpMul) != 1 || s.Cycles(OpShift) != 1 {
+		t.Fatal("simple ops must be single-cycle")
+	}
+	if s.Cycles(OpInvSqrt) != 5 {
+		t.Fatalf("invsqrt flow 3-2-1-2-1 must take 5 cycles, got %d", s.Cycles(OpInvSqrt))
+	}
+	if s.Cycles(OpExp) != 4 {
+		t.Fatalf("exp flow 1-2-2-3 must take 4 cycles, got %d", s.Cycles(OpExp))
+	}
+	if s.Cycles(OpRecip) <= s.Cycles(OpMul) {
+		t.Fatal("reciprocal must cost more than a multiply")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, o := range []Op{OpMAC, OpAdd, OpMul, OpShift, OpInvSqrt, OpExp, OpRecip} {
+		if s := o.String(); s == "" || strings.HasPrefix(s, "Op(") {
+			t.Fatalf("op %d unnamed", o)
+		}
+	}
+}
+
+func TestOpCountsArithmetic(t *testing.T) {
+	a := OpCounts{MAC: 10, Exp: 2}
+	b := OpCounts{MAC: 5, InvSqrt: 1}
+	sum := a.Plus(b)
+	if sum.MAC != 15 || sum.Exp != 2 || sum.InvSqrt != 1 {
+		t.Fatalf("Plus = %+v", sum)
+	}
+	sc := a.Scale(2)
+	if sc.MAC != 20 || sc.Exp != 4 {
+		t.Fatalf("Scale = %+v", sc)
+	}
+	if a.Total() != 12 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+}
+
+func TestOpCyclesWeighting(t *testing.T) {
+	s := DefaultSpec()
+	c := OpCounts{MAC: 100, InvSqrt: 10, Exp: 5}
+	want := 100.0 + 50 + 20
+	if got := s.OpCycles(c); got != want {
+		t.Fatalf("OpCycles = %v, want %v", got, want)
+	}
+}
+
+func TestEquationOpsConsistentWithWorkloadFLOPs(t *testing.T) {
+	// The MAC counts must track the workload FLOP model: Eq. 1's MACs
+	// are NB·NL·NH·CH·CL while the FLOP count is ·(2CL−1) ≈ 2·MACs.
+	b, _ := workload.ByName("Caps-MN1")
+	ops := EquationOps(b, workload.EqPrediction)
+	if ops.MAC != 100*1152*10*16*8 {
+		t.Fatalf("Eq1 MACs = %v", ops.MAC)
+	}
+	flops := b.RPEquationFLOPs(workload.EqPrediction)
+	if ratio := flops / ops.MAC; ratio < 1.5 || ratio > 2 {
+		t.Fatalf("FLOP/MAC ratio %v implausible", ratio)
+	}
+}
+
+func TestEquationOpsSpecialFunctions(t *testing.T) {
+	b, _ := workload.ByName("Caps-MN1")
+	sq := EquationOps(b, workload.EqSquash)
+	if sq.InvSqrt != 100*10 || sq.Recip != 100*10 {
+		t.Fatalf("squash specials %+v", sq)
+	}
+	sm := EquationOps(b, workload.EqSoftmax)
+	if sm.Exp != 1152*10 {
+		t.Fatalf("softmax exps = %v, want %v", sm.Exp, 1152*10)
+	}
+	if sm.Recip != 1152 {
+		t.Fatalf("softmax recips = %v, want one per L capsule row", sm.Recip)
+	}
+}
+
+func TestArrayTimeScalesWithPEsAndClock(t *testing.T) {
+	c := OpCounts{MAC: 1e6}
+	base := Array{Spec: DefaultSpec(), PEs: 16, ClockHz: 312.5e6}
+	t1 := base.Time(c)
+	if t1 <= 0 {
+		t.Fatal("zero time for nonzero work")
+	}
+	double := Array{Spec: DefaultSpec(), PEs: 32, ClockHz: 312.5e6}
+	if got := double.Time(c); got >= t1 || got < t1/2.1 {
+		t.Fatalf("doubling PEs should halve time: %v vs %v", got, t1)
+	}
+	fast := Array{Spec: DefaultSpec(), PEs: 16, ClockHz: 625e6}
+	if got := fast.Time(c); got >= t1 || got < t1/2.1 {
+		t.Fatalf("doubling clock should halve time: %v vs %v", got, t1)
+	}
+	if (Array{Spec: DefaultSpec()}).Time(c) != 0 {
+		t.Fatal("degenerate array must return 0")
+	}
+}
+
+func TestOverheadConstants(t *testing.T) {
+	if LogicAreaMM2 != 3.11 || HMCLogicAreaFraction != 0.0032 {
+		t.Fatal("area overheads drifted from §6.5")
+	}
+	if AvgPowerW != 2.24 || TDPHeadroomW != 10.0 {
+		t.Fatal("power overheads drifted from §6.5")
+	}
+	if !WithinThermalBudget(312.5e6) || !WithinThermalBudget(937.5e6) {
+		t.Fatal("the paper's frequency sweep must stay inside the TDP")
+	}
+	if WithinThermalBudget(2e9) {
+		t.Fatal("2 GHz should exceed the thermal budget")
+	}
+}

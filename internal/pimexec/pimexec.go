@@ -1,0 +1,359 @@
+// Package pimexec is a functional/timing co-simulator of PIM-CapsNet's
+// in-memory routing: it executes the dynamic routing procedure on
+// real data, distributed across the simulated cube's vaults on a
+// chosen dimension (§5.1), with every special function evaluated by
+// the PE approximations (§5.2.2), while accounting compute cycles,
+// memory blocks and inter-vault transfers per vault.
+//
+// It complements internal/core's analytical evaluator: core scales
+// a contention-window simulation to full workloads for the paper's
+// performance figures; pimexec interprets the algorithm itself on the
+// modeled hardware, so the numerical results are bit-compatible with
+// internal/capsnet's PE-math routing and the per-vault work balance
+// is observable rather than assumed.
+package pimexec
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/hmc"
+	"pimcapsnet/internal/pe"
+	"pimcapsnet/internal/tensor"
+	"pimcapsnet/internal/trace"
+	"pimcapsnet/internal/workload"
+)
+
+// Executor configures a run.
+type Executor struct {
+	Cfg  hmc.Config
+	Spec pe.Spec
+	// Math supplies the PE special-function numerics (normally
+	// capsnet.NewPEMath(); capsnet.ExactMath{} gives a reference run).
+	Math capsnet.RoutingMath
+	// Dim selects the distribution dimension.
+	Dim distribute.Dimension
+	// Trace, when non-nil, receives a per-vault timeline of every
+	// phase (Chrome trace-event format via internal/trace).
+	Trace *trace.Log
+}
+
+// New returns an executor with the default cube, PE spec and
+// recovered PE math, distributing on dim.
+func New(dim distribute.Dimension) *Executor {
+	return &Executor{
+		Cfg:  hmc.DefaultConfig(),
+		Spec: pe.DefaultSpec(),
+		Math: capsnet.NewPEMath(),
+		Dim:  dim,
+	}
+}
+
+// VaultStats accumulates one vault's activity.
+type VaultStats struct {
+	ComputeCycles float64 // PE datapath cycles (divided by the PE count)
+	MemoryBlocks  float64 // 16-byte blocks touched in local banks
+	SentBytes     float64 // payload pushed to the crossbar
+	RecvBytes     float64 // payload received from the crossbar
+}
+
+// Result carries the numerics and the accounting of a run.
+type Result struct {
+	Routing capsnet.RoutingResult
+	Dim     distribute.Dimension
+	Vaults  []VaultStats
+	// Phases counts the serialized phase transitions (barriers
+	// between equations and iterations).
+	Phases int
+}
+
+// MaxComputeCycles returns the busiest vault's compute cycles — the
+// quantity the paper's E model (Eqs. 6–11) estimates.
+func (r Result) MaxComputeCycles() float64 {
+	var m float64
+	for _, v := range r.Vaults {
+		if v.ComputeCycles > m {
+			m = v.ComputeCycles
+		}
+	}
+	return m
+}
+
+// TotalCommBytes returns all crossbar payload moved — the quantity
+// the paper's M model (Eqs. 8/10/12) estimates.
+func (r Result) TotalCommBytes() float64 {
+	var m float64
+	for _, v := range r.Vaults {
+		m += v.SentBytes
+	}
+	return m
+}
+
+// ActiveVaults counts vaults that did any compute.
+func (r Result) ActiveVaults() int {
+	n := 0
+	for _, v := range r.Vaults {
+		if v.ComputeCycles > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes Alg. 1 (batch-shared coefficients, as the paper
+// distributes it) on prediction vectors û of shape B×L×H×CH for the
+// given number of iterations.
+func (x *Executor) Run(preds *tensor.Tensor, iterations int) Result {
+	if preds.Rank() != 4 {
+		panic(fmt.Sprintf("pimexec: want B×L×H×CH predictions, got %v", preds.Shape()))
+	}
+	if iterations < 1 {
+		panic("pimexec: need at least one iteration")
+	}
+	nb, nl, nh, ch := preds.Dim(0), preds.Dim(1), preds.Dim(2), preds.Dim(3)
+	nv := x.Cfg.Vaults
+	res := Result{Dim: x.Dim, Vaults: make([]VaultStats, nv)}
+
+	b := tensor.New(nl, nh)
+	c := tensor.New(nl, nh)
+	v := tensor.New(nb, nh, ch)
+	s := tensor.New(nb, nh, ch)
+	pd, bd, cd, vd, sd := preds.Data(), b.Data(), c.Data(), v.Data(), s.Data()
+
+	// ownerOf maps a snippet index along the distribution dimension to
+	// its vault (round-robin, as the hardware scheduler assigns
+	// snippets §5.1.2).
+	extent := map[distribute.Dimension]int{distribute.DimB: nb, distribute.DimL: nl, distribute.DimH: nh}[x.Dim]
+	ownerOf := func(idx int) int { return idx % nv }
+
+	charge := func(vault int, ops pe.OpCounts, blocks float64) {
+		st := &res.Vaults[vault]
+		st.ComputeCycles += x.Spec.OpCycles(ops) / float64(x.Cfg.PEsPerVault)
+		st.MemoryBlocks += blocks
+	}
+	send := func(from, to int, bytes float64) {
+		if from == to {
+			return
+		}
+		res.Vaults[from].SentBytes += bytes
+		res.Vaults[to].RecvBytes += bytes
+	}
+	wordBlocks := func(words int) float64 {
+		return float64(words*workload.WordBytes) / float64(x.Cfg.BlockBytes)
+	}
+
+	mathOps := x.Math
+	if mathOps == nil {
+		mathOps = capsnet.NewPEMath()
+	}
+
+	// Phase bookkeeping for the optional trace: phases are barriers,
+	// so the global clock advances by the busiest vault's delta.
+	prevCycles := make([]float64, nv)
+	globalTS := 0.0
+	endPhase := func(name string) {
+		res.Phases++
+		var maxDelta float64
+		for vi := range res.Vaults {
+			delta := res.Vaults[vi].ComputeCycles - prevCycles[vi]
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			if x.Trace != nil && delta > 0 {
+				x.Trace.Complete(name, "vault-compute", 0, vi, globalTS, delta, nil)
+			}
+			prevCycles[vi] = res.Vaults[vi].ComputeCycles
+		}
+		globalTS += maxDelta
+	}
+
+	for it := 0; it < iterations; it++ {
+		// --- Eq. 5: softmax of the shared logits. Parallel only on
+		// L (Table 2): each L row is one softmax, executed in the
+		// vault owning that row's snippet (L-dim) or row-distributed
+		// round-robin after a gather (B/H dims, the paper's
+		// pre-aggregation path).
+		for i := 0; i < nl; i++ {
+			vault := ownerOf(i % extent)
+			row := bd[i*nh : (i+1)*nh]
+			out := cd[i*nh : (i+1)*nh]
+			maxv := row[0]
+			for _, q := range row[1:] {
+				if q > maxv {
+					maxv = q
+				}
+			}
+			var sum float32
+			for j, q := range row {
+				e := mathOps.Exp(q - maxv)
+				out[j] = e
+				sum += e
+			}
+			if sum == 0 {
+				for j := range out {
+					out[j] = 1 / float32(nh)
+				}
+			} else {
+				inv := mathOps.Recip(sum)
+				for j := range out {
+					out[j] *= inv
+				}
+			}
+			charge(vault, pe.OpCounts{Exp: float64(nh), Add: float64(nh), Mul: float64(nh), Recip: 1},
+				wordBlocks(2*nh))
+		}
+		endPhase(fmt.Sprintf("it%d-eq5-softmax", it))
+
+		// When not distributed on L, the fresh coefficients must be
+		// scattered to the vaults that hold the snippets (M model's
+		// c_ij broadcast term).
+		if x.Dim != distribute.DimL {
+			bytes := float64(nl*nh*workload.WordBytes) / float64(nv)
+			for dst := 0; dst < nv; dst++ {
+				send(dst%nv, (dst+1)%nv, bytes) // ring-model scatter
+			}
+		}
+
+		// --- Eq. 2 + Eq. 3: weighted aggregation and squash.
+		for i := range sd {
+			sd[i] = 0
+		}
+		for k := 0; k < nb; k++ {
+			for j := 0; j < nh; j++ {
+				var vault int
+				switch x.Dim {
+				case distribute.DimB:
+					vault = ownerOf(k)
+				case distribute.DimH:
+					vault = ownerOf(j)
+				default: // DimL: partial sums per L snippet, reduced below
+					vault = -1
+				}
+				sp := sd[(k*nh+j)*ch : (k*nh+j+1)*ch]
+				if x.Dim == distribute.DimL {
+					// Each vault accumulates its L slice; the
+					// all-reduce of s is the M model's first term.
+					for i := 0; i < nl; i++ {
+						w := ownerOf(i)
+						cij := cd[i*nh+j]
+						up := pd[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
+						for d := 0; d < ch; d++ {
+							sp[d] += cij * up[d]
+						}
+						charge(w, pe.OpCounts{MAC: float64(ch)}, wordBlocks(ch))
+					}
+					for w := 0; w < nv; w++ {
+						send(w, 0, float64(ch*workload.WordBytes))
+					}
+					vault = 0
+				} else {
+					for i := 0; i < nl; i++ {
+						cij := cd[i*nh+j]
+						up := pd[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
+						for d := 0; d < ch; d++ {
+							sp[d] += cij * up[d]
+						}
+					}
+					charge(vault, pe.OpCounts{MAC: float64(nl * ch)}, wordBlocks(nl*ch))
+				}
+				// Eq. 3 squash where s was finalized.
+				dst := vd[(k*nh+j)*ch : (k*nh+j+1)*ch]
+				squashPE(mathOps, dst, sp)
+				charge(vault, pe.OpCounts{MAC: float64(ch), Recip: 1, InvSqrt: 1, Mul: float64(ch + 2), Add: 1},
+					wordBlocks(2*ch))
+				if x.Dim == distribute.DimL {
+					// Broadcast v back to all L-snippet vaults (M
+					// model's second term).
+					for w := 1; w < nv; w++ {
+						send(0, w, float64(ch*workload.WordBytes))
+					}
+				}
+			}
+		}
+		endPhase(fmt.Sprintf("it%d-eq2-eq3-aggregate-squash", it))
+
+		if it == iterations-1 {
+			break
+		}
+
+		// --- Eq. 4: agreement accumulation (batch-aggregated).
+		for k := 0; k < nb; k++ {
+			for i := 0; i < nl; i++ {
+				for j := 0; j < nh; j++ {
+					var vault int
+					switch x.Dim {
+					case distribute.DimB:
+						vault = ownerOf(k)
+					case distribute.DimL:
+						vault = ownerOf(i)
+					default:
+						vault = ownerOf(j)
+					}
+					up := pd[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
+					vp := vd[(k*nh+j)*ch : (k*nh+j+1)*ch]
+					var dot float32
+					for d := 0; d < ch; d++ {
+						dot += up[d] * vp[d]
+					}
+					bd[i*nh+j] += dot
+					charge(vault, pe.OpCounts{MAC: float64(ch), Add: 1}, wordBlocks(2*ch))
+				}
+			}
+		}
+		if x.Dim == distribute.DimB {
+			// Pre-aggregated b_ij partials gather to one place (the M
+			// model's b term).
+			bytes := float64(nl * nh * workload.WordBytes)
+			for w := 1; w < nv; w++ {
+				send(w, 0, bytes/float64(nv))
+			}
+		}
+		endPhase(fmt.Sprintf("it%d-eq4-agreement", it))
+	}
+
+	// Replicate the shared coefficients/logits across the batch axis
+	// to match capsnet.RoutingResult's layout.
+	fullC := tensor.New(nb, nl, nh)
+	fullB := tensor.New(nb, nl, nh)
+	for k := 0; k < nb; k++ {
+		copy(fullC.Data()[k*nl*nh:(k+1)*nl*nh], cd)
+		copy(fullB.Data()[k*nl*nh:(k+1)*nl*nh], bd)
+	}
+	res.Routing = capsnet.RoutingResult{V: v, C: fullC, B: fullB}
+	return res
+}
+
+// squashPE applies Eq. 3 with the executor's math.
+func squashPE(m capsnet.RoutingMath, dst, src []float32) {
+	var sq float32
+	for _, q := range src {
+		sq += q * q
+	}
+	if sq == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	scale := sq * m.Recip(1+sq) * m.InvSqrt(sq)
+	for i := range src {
+		dst[i] = src[i] * scale
+	}
+}
+
+// EstimateSeconds converts the run's accounting into a wall-time
+// estimate under cfg: the busiest vault's compute and bank-streaming
+// cycles (phases are barriers, so the maximum binds) plus the
+// crossbar transfers at port bandwidth.
+func (r Result) EstimateSeconds(cfg hmc.Config) float64 {
+	var worst float64
+	for _, vs := range r.Vaults {
+		cycles := vs.ComputeCycles + vs.MemoryBlocks*float64(cfg.IssueCycles)
+		if cycles > worst {
+			worst = cycles
+		}
+	}
+	comm := r.TotalCommBytes() / cfg.VaultBW()
+	return worst/cfg.ClockHz + comm
+}

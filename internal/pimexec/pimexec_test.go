@@ -1,0 +1,173 @@
+package pimexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/distribute"
+	"pimcapsnet/internal/tensor"
+)
+
+func fixture(nb, nl, nh, ch int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	p := tensor.New(nb, nl, nh, ch)
+	for i := range p.Data() {
+		p.Data()[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	return p
+}
+
+// TestNumericalEquivalenceWithCapsnet is the co-simulation contract:
+// executing the routing procedure on the simulated cube must produce
+// the same capsules as the library's batch-shared PE-math routing,
+// for every distribution dimension (floating-point accumulation order
+// differs, hence the tolerance).
+func TestNumericalEquivalenceWithCapsnet(t *testing.T) {
+	preds := fixture(3, 24, 5, 8, 1)
+	ref := capsnet.DynamicRoutingShared(preds, 3, capsnet.NewPEMath())
+	for _, dim := range distribute.Dimensions {
+		x := New(dim)
+		got := x.Run(preds, 3)
+		if !got.Routing.V.AllClose(ref.V, 1e-4, 1e-5) {
+			t.Fatalf("dim %v: executor capsules diverge from library routing", dim)
+		}
+		if !got.Routing.C.AllClose(ref.C, 1e-4, 1e-5) {
+			t.Fatalf("dim %v: executor coefficients diverge", dim)
+		}
+	}
+}
+
+func TestExactMathMatchesLibraryExactly(t *testing.T) {
+	// With exact math and B-dimension ownership the accumulation
+	// order matches the library loop exactly.
+	preds := fixture(2, 12, 4, 6, 2)
+	ref := capsnet.DynamicRoutingShared(preds, 2, capsnet.ExactMath{})
+	x := New(distribute.DimB)
+	x.Math = capsnet.ExactMath{}
+	got := x.Run(preds, 2)
+	if !got.Routing.V.AllClose(ref.V, 1e-6, 1e-7) {
+		t.Fatal("exact-math executor should match the library almost exactly")
+	}
+}
+
+func TestWorkDistributionFollowsDimension(t *testing.T) {
+	preds := fixture(4, 64, 6, 8, 3)
+
+	// H-dimension with 6 H capsules: at most 6 vaults receive the
+	// Eq. 2 work (plus softmax rows spread on L) — check Eq.2-heavy
+	// imbalance by comparing against B/L distribution.
+	hRes := New(distribute.DimH).Run(preds, 2)
+	lRes := New(distribute.DimL).Run(preds, 2)
+	bRes := New(distribute.DimB).Run(preds, 2)
+
+	if lRes.ActiveVaults() < hRes.ActiveVaults() {
+		t.Fatalf("L distribution (64 snippets) should activate ≥ vaults than H (6 snippets): %d vs %d",
+			lRes.ActiveVaults(), hRes.ActiveVaults())
+	}
+	// The busiest vault under H-dim must carry more work than under
+	// L-dim (6 owners for the same Eq. 2 work vs 32).
+	if hRes.MaxComputeCycles() <= lRes.MaxComputeCycles() {
+		t.Fatalf("H-dim busiest vault (%.0f cycles) should exceed L-dim (%.0f)",
+			hRes.MaxComputeCycles(), lRes.MaxComputeCycles())
+	}
+	// B-dim with 4 batch elements: only 4 owners of Eq. 2.
+	if bRes.ActiveVaults() > 32 {
+		t.Fatal("impossible vault count")
+	}
+}
+
+func TestCommunicationMatchesMModelShape(t *testing.T) {
+	// The M model (Eqs. 8/10/12) predicts L-dimension moves the most
+	// data for a configuration with large NB·NH (per-batch s/v
+	// vectors) while H-dimension moves scalars only.
+	preds := fixture(8, 32, 6, 8, 4)
+	lC := New(distribute.DimL).Run(preds, 3).TotalCommBytes()
+	hC := New(distribute.DimH).Run(preds, 3).TotalCommBytes()
+	if hC >= lC {
+		t.Fatalf("H-dim comm (%.0fB) should be below L-dim (%.0fB) here", hC, lC)
+	}
+}
+
+func TestPhasesCount(t *testing.T) {
+	preds := fixture(1, 4, 2, 3, 5)
+	r := New(distribute.DimB).Run(preds, 3)
+	// Per iteration: softmax phase + aggregate/squash phase, plus an
+	// agreement phase for all but the last iteration.
+	want := 3*2 + 2
+	if r.Phases != want {
+		t.Fatalf("phases = %d, want %d", r.Phases, want)
+	}
+}
+
+func TestRunPanicsOnBadInput(t *testing.T) {
+	x := New(distribute.DimB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank-3 input")
+		}
+	}()
+	x.Run(tensor.New(2, 3, 4), 3)
+}
+
+func TestRunPanicsOnZeroIterations(t *testing.T) {
+	x := New(distribute.DimB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero iterations")
+		}
+	}()
+	x.Run(tensor.New(1, 2, 2, 2), 0)
+}
+
+func TestMemoryBlocksAccounted(t *testing.T) {
+	preds := fixture(2, 16, 4, 8, 6)
+	r := New(distribute.DimB).Run(preds, 2)
+	var blocks float64
+	for _, vs := range r.Vaults {
+		blocks += vs.MemoryBlocks
+	}
+	if blocks <= 0 {
+		t.Fatal("no memory blocks accounted")
+	}
+	// Eq. 2 alone touches ≈ nb·nh·nl·ch words per iteration.
+	minWords := float64(2 * 4 * 16 * 8)
+	if blocks*4 < minWords { // blocks are 16B = 4 words
+		t.Fatalf("accounted traffic %.0f blocks implausibly low", blocks)
+	}
+}
+
+func TestDefaultMathIsPEMath(t *testing.T) {
+	x := New(distribute.DimH)
+	x.Math = nil
+	preds := fixture(1, 8, 3, 4, 7)
+	r := x.Run(preds, 2) // must not panic with nil math
+	if r.Routing.V.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestEstimateSecondsProperties(t *testing.T) {
+	preds := fixture(4, 64, 8, 16, 9)
+	for _, dim := range distribute.Dimensions {
+		x := New(dim)
+		r := x.Run(preds, 3)
+		est := r.EstimateSeconds(x.Cfg)
+		if est <= 0 {
+			t.Fatalf("dim %v: non-positive estimate", dim)
+		}
+		// Doubling the clock must shrink the estimate.
+		fast := x.Cfg.WithClock(x.Cfg.ClockHz * 2)
+		if r.EstimateSeconds(fast) >= est {
+			t.Fatalf("dim %v: faster clock did not reduce the estimate", dim)
+		}
+	}
+	// B-dimension with 4 snippets concentrates work: its busiest-vault
+	// estimate must exceed L-dimension's (64 snippets spread wide),
+	// communication aside.
+	bRes := New(distribute.DimB).Run(preds, 3)
+	lRes := New(distribute.DimL).Run(preds, 3)
+	if bRes.MaxComputeCycles() <= lRes.MaxComputeCycles() {
+		t.Fatal("B-dim busiest vault should exceed L-dim's for a 4-sample batch")
+	}
+}

@@ -1,0 +1,37 @@
+// Package pipeline models PIM-CapsNet's host/HMC batch pipeline
+// (paper §4): while the HMC executes batch k's routing procedure, the
+// host GPU processes batch k+1's Conv/PrimaryCaps layers and batch
+// k−1's FC decoder, so steady-state throughput is set by the slower of
+// the two sides.
+package pipeline
+
+// TwoStage returns the makespan of n batches through a two-stage
+// pipeline with per-batch stage times host and device: fill with the
+// first host stage, stream at max(host, device), drain with the last
+// device stage.
+func TwoStage(host, device float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	slow := host
+	if device > slow {
+		slow = device
+	}
+	return host + slow*float64(n-1) + device
+}
+
+// Serial returns the unpipelined makespan (All-in-one-device
+// execution or no overlap).
+func Serial(host, device float64, n int) float64 {
+	return (host + device) * float64(n)
+}
+
+// Utilization reports each side's busy fraction of the pipelined
+// makespan.
+func Utilization(host, device float64, n int) (hostU, deviceU float64) {
+	total := TwoStage(host, device, n)
+	if total == 0 {
+		return 0, 0
+	}
+	return host * float64(n) / total, device * float64(n) / total
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoStageKnown(t *testing.T) {
+	// host 2s, device 3s, 4 batches: 2 + 3·3 + 3 = 14.
+	if got := TwoStage(2, 3, 4); got != 14 {
+		t.Fatalf("TwoStage = %v, want 14", got)
+	}
+	// Single batch degenerates to serial.
+	if got := TwoStage(2, 3, 1); got != 5 {
+		t.Fatalf("TwoStage(n=1) = %v, want 5", got)
+	}
+	if TwoStage(2, 3, 0) != 0 {
+		t.Fatal("zero batches must take zero time")
+	}
+}
+
+func TestSerial(t *testing.T) {
+	if Serial(2, 3, 4) != 20 {
+		t.Fatalf("Serial = %v, want 20", Serial(2, 3, 4))
+	}
+}
+
+func TestPipelineNeverSlowerThanSerial(t *testing.T) {
+	f := func(h, d float64, n uint8) bool {
+		if h < 0 {
+			h = -h
+		}
+		if d < 0 {
+			d = -d
+		}
+		if h != h || d != d || h > 1e12 || d > 1e12 { // NaN/huge guard
+			return true
+		}
+		nn := int(n%20) + 1
+		return TwoStage(h, d, nn) <= Serial(h, d, nn)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineBoundedBySlowerStage(t *testing.T) {
+	// For large n the per-batch cost approaches max(host, device).
+	n := 1000
+	got := TwoStage(2, 5, n) / float64(n)
+	if got < 5 || got > 5.01 {
+		t.Fatalf("steady-state per-batch %v, want ≈5", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	hostU, devU := Utilization(2, 3, 100)
+	if devU < 0.98 || devU > 1 {
+		t.Fatalf("slower stage utilization %v, want ≈1", devU)
+	}
+	if hostU < 0.6 || hostU > 0.7 {
+		t.Fatalf("faster stage utilization %v, want ≈2/3", hostU)
+	}
+	h0, d0 := Utilization(0, 0, 0)
+	if h0 != 0 || d0 != 0 {
+		t.Fatal("degenerate utilization must be zero")
+	}
+}

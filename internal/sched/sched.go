@@ -1,0 +1,132 @@
+// Package sched implements the runtime memory access scheduler (RMAS)
+// of paper §5.3.2: when the host GPU's Conv/FC traffic and the vault
+// PEs' routing traffic target the same vaults, RMAS decides how many
+// of the targeted vaults (n_h of n_max) grant the GPU priority by
+// minimizing the overhead function of Eq. 15:
+//
+//	κ = γ_v·n_h·Q + γ_h·n_max/n_h
+//
+// whose continuous minimum is n_h = √(n_max·γ_h/(Q·γ_v)), clamped to
+// [0, n_max]. The naive policies of the evaluation (always-PIM-first,
+// always-GPU-first) are the two endpoints.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the arbitration strategy.
+type Policy int
+
+// The three policies compared in Fig. 17.
+const (
+	// RMAS minimizes Eq. 15.
+	RMAS Policy = iota
+	// PIMFirst always grants vault PEs priority (RMAS-PIM).
+	PIMFirst
+	// GPUFirst always grants the host GPU priority (RMAS-GPU).
+	GPUFirst
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case RMAS:
+		return "RMAS"
+	case PIMFirst:
+		return "RMAS-PIM"
+	case GPUFirst:
+		return "RMAS-GPU"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Contention describes one arbitration decision's inputs.
+type Contention struct {
+	// NMax is the number of vaults the host operation requests
+	// (consecutive data stays in few vaults under the custom
+	// mapping).
+	NMax int
+	// Q is the average number of queued PE requests in the targeted
+	// vaults.
+	Q float64
+	// GammaV and GammaH are the impact factors of the issued HMC and
+	// host operations (memory-intensive operations are more
+	// bandwidth-sensitive and get larger γ).
+	GammaV, GammaH float64
+}
+
+// Kappa evaluates Eq. 15 for a given n_h. n_h = 0 means every target
+// vault drains its PE queue before serving the GPU, so the host
+// impact becomes γ_h·n_max·Q.
+func (c Contention) Kappa(nh int) float64 {
+	if nh <= 0 {
+		return c.GammaH * float64(c.NMax) * math.Max(c.Q, 1)
+	}
+	return c.GammaV*float64(nh)*c.Q + c.GammaH*float64(c.NMax)/float64(nh)
+}
+
+// Decision is the scheduler's output: how many vaults grant GPU
+// priority and the resulting stall penalties for each side.
+type Decision struct {
+	Policy Policy
+	NH     int
+	Kappa  float64
+	// PIMDelay and GPUDelay are the κ components attributed to the
+	// vault PEs and the host respectively (arbitrary impact units;
+	// core scales them into seconds).
+	PIMDelay, GPUDelay float64
+}
+
+// Arbitrate resolves one contention under the policy.
+func Arbitrate(p Policy, c Contention) Decision {
+	if c.NMax <= 0 {
+		return Decision{Policy: p}
+	}
+	var nh int
+	switch p {
+	case GPUFirst:
+		nh = c.NMax
+	case PIMFirst:
+		nh = 0
+	case RMAS:
+		nh = c.optimalNH()
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %d", int(p)))
+	}
+	d := Decision{Policy: p, NH: nh, Kappa: c.Kappa(nh)}
+	if nh <= 0 {
+		d.GPUDelay = d.Kappa
+	} else {
+		d.PIMDelay = c.GammaV * float64(nh) * c.Q
+		d.GPUDelay = c.GammaH * float64(c.NMax) / float64(nh)
+	}
+	return d
+}
+
+// optimalNH minimizes Eq. 15 over the integers 0..NMax: the continuous
+// optimum √(n_max·γ_h/(Q·γ_v)) is evaluated against its integer
+// neighbours and the endpoints.
+func (c Contention) optimalNH() int {
+	best, bestK := 0, c.Kappa(0)
+	try := func(nh int) {
+		if nh < 0 {
+			nh = 0
+		}
+		if nh > c.NMax {
+			nh = c.NMax
+		}
+		if k := c.Kappa(nh); k < bestK {
+			best, bestK = nh, k
+		}
+	}
+	if c.Q > 0 && c.GammaV > 0 {
+		cont := math.Sqrt(float64(c.NMax) * c.GammaH / (c.Q * c.GammaV))
+		try(int(math.Floor(cont)))
+		try(int(math.Ceil(cont)))
+	}
+	try(1)
+	try(c.NMax)
+	return best
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if RMAS.String() != "RMAS" || PIMFirst.String() != "RMAS-PIM" || GPUFirst.String() != "RMAS-GPU" {
+		t.Fatal("policy names wrong")
+	}
+	if !strings.HasPrefix(Policy(9).String(), "Policy(") {
+		t.Fatal("unknown policy should render numerically")
+	}
+}
+
+func TestKappaEndpoints(t *testing.T) {
+	c := Contention{NMax: 8, Q: 4, GammaV: 1, GammaH: 2}
+	// nh = nmax: PIM pays γv·nmax·Q, GPU pays γh.
+	if got := c.Kappa(8); got != 1*8*4+2*8/8.0 {
+		t.Fatalf("Kappa(8) = %v", got)
+	}
+	// nh = 0: GPU waits out the full PE queues.
+	if got := c.Kappa(0); got != 2*8*4.0 {
+		t.Fatalf("Kappa(0) = %v", got)
+	}
+}
+
+func TestRMASBeatsNaivePolicies(t *testing.T) {
+	// Eq. 15's whole point: the optimal n_h never does worse than
+	// either endpoint.
+	f := func(nmax uint8, q, gv, gh float64) bool {
+		c := Contention{
+			NMax:   int(nmax%31) + 1,
+			Q:      1 + abs(q, 64),
+			GammaV: 0.1 + abs(gv, 10),
+			GammaH: 0.1 + abs(gh, 10),
+		}
+		opt := Arbitrate(RMAS, c).Kappa
+		return opt <= Arbitrate(PIMFirst, c).Kappa+1e-9 && opt <= Arbitrate(GPUFirst, c).Kappa+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x, mod float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x >= mod {
+		x /= 2
+	}
+	if x != x { // NaN
+		return 1
+	}
+	return x
+}
+
+func TestOptimalNHMatchesClosedForm(t *testing.T) {
+	// √(nmax·γh/(Q·γv)) = √(16·4/(4·1)) = 4.
+	c := Contention{NMax: 16, Q: 4, GammaV: 1, GammaH: 4}
+	d := Arbitrate(RMAS, c)
+	if d.NH != 4 {
+		t.Fatalf("optimal n_h = %d, want 4", d.NH)
+	}
+	if d.Kappa != c.Kappa(4) {
+		t.Fatal("decision kappa inconsistent")
+	}
+}
+
+func TestArbitrateDelaysAttribution(t *testing.T) {
+	c := Contention{NMax: 8, Q: 2, GammaV: 1, GammaH: 1}
+	gpuFirst := Arbitrate(GPUFirst, c)
+	if gpuFirst.NH != 8 || gpuFirst.PIMDelay == 0 || gpuFirst.GPUDelay != 1 {
+		t.Fatalf("GPUFirst decision %+v", gpuFirst)
+	}
+	pimFirst := Arbitrate(PIMFirst, c)
+	if pimFirst.NH != 0 || pimFirst.PIMDelay != 0 || pimFirst.GPUDelay == 0 {
+		t.Fatalf("PIMFirst decision %+v", pimFirst)
+	}
+	rmas := Arbitrate(RMAS, c)
+	if rmas.Kappa > gpuFirst.Kappa || rmas.Kappa > pimFirst.Kappa {
+		t.Fatal("RMAS must not lose to either endpoint")
+	}
+}
+
+func TestArbitrateDegenerate(t *testing.T) {
+	d := Arbitrate(RMAS, Contention{})
+	if d.NH != 0 || d.Kappa != 0 {
+		t.Fatalf("degenerate contention decision %+v", d)
+	}
+}
+
+func TestHigherQueuePushesGPUPriorityDown(t *testing.T) {
+	// More queued PE work makes granting the GPU priority costlier:
+	// n_h must not increase with Q.
+	base := Contention{NMax: 16, GammaV: 1, GammaH: 4}
+	prev := 17
+	for _, q := range []float64{0.5, 1, 2, 4, 8, 16, 64} {
+		c := base
+		c.Q = q
+		nh := Arbitrate(RMAS, c).NH
+		if nh > prev {
+			t.Fatalf("n_h grew from %d to %d as Q rose to %v", prev, nh, q)
+		}
+		prev = nh
+	}
+}

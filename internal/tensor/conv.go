@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution: Cin input channels convolved
+// with Cout filters of size K×K at the given stride (no padding, which
+// matches the CapsNet-MNIST architecture of Sabour et al.).
+type ConvSpec struct {
+	Cin, Cout int
+	K         int
+	Stride    int
+}
+
+// OutSize returns the output spatial size for an h×w input.
+func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h-s.K)/s.Stride + 1
+	ow = (w-s.K)/s.Stride + 1
+	return oh, ow
+}
+
+// Validate reports an error if the spec is not executable.
+func (s ConvSpec) Validate() error {
+	switch {
+	case s.Cin <= 0 || s.Cout <= 0:
+		return fmt.Errorf("conv: channels must be positive (Cin=%d Cout=%d)", s.Cin, s.Cout)
+	case s.K <= 0:
+		return fmt.Errorf("conv: kernel size must be positive (K=%d)", s.K)
+	case s.Stride <= 0:
+		return fmt.Errorf("conv: stride must be positive (Stride=%d)", s.Stride)
+	}
+	return nil
+}
+
+// Im2Col lowers input (Cin×H×W) into a matrix of shape
+// (oh*ow) × (Cin*K*K) so convolution becomes a matrix multiply.
+func Im2Col(input *Tensor, spec ConvSpec) *Tensor {
+	if input.Rank() != 3 {
+		panic("tensor: Im2Col requires a rank-3 (C,H,W) input")
+	}
+	cin, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	if cin != spec.Cin {
+		panic(fmt.Sprintf("tensor: Im2Col input has %d channels, spec expects %d", cin, spec.Cin))
+	}
+	oh, ow := spec.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col kernel %d does not fit %dx%d input", spec.K, h, w))
+	}
+	cols := New(oh*ow, cin*spec.K*spec.K)
+	cd := cols.data
+	id := input.data
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			base := row * cin * spec.K * spec.K
+			p := 0
+			for c := 0; c < cin; c++ {
+				chOff := c * h * w
+				for ky := 0; ky < spec.K; ky++ {
+					srcOff := chOff + (oy*spec.Stride+ky)*w + ox*spec.Stride
+					copy(cd[base+p:base+p+spec.K], id[srcOff:srcOff+spec.K])
+					p += spec.K
+				}
+			}
+			row++
+		}
+	}
+	return cols
+}
+
+// Conv2D convolves input (Cin×H×W) with weights (Cout × Cin*K*K) and
+// per-output-channel bias, returning a (Cout×oh×ow) tensor.
+func Conv2D(input, weights *Tensor, bias []float32, spec ConvSpec) *Tensor {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if weights.Rank() != 2 || weights.Dim(0) != spec.Cout || weights.Dim(1) != spec.Cin*spec.K*spec.K {
+		panic(fmt.Sprintf("tensor: Conv2D weights %v, want [%d %d]", weights.Shape(), spec.Cout, spec.Cin*spec.K*spec.K))
+	}
+	if bias != nil && len(bias) != spec.Cout {
+		panic(fmt.Sprintf("tensor: Conv2D bias length %d, want %d", len(bias), spec.Cout))
+	}
+	h, w := input.Dim(1), input.Dim(2)
+	oh, ow := spec.OutSize(h, w)
+	cols := Im2Col(input, spec) // (oh*ow) × (Cin*K*K)
+	out := New(spec.Cout, oh, ow)
+	n := oh * ow
+	kk := spec.Cin * spec.K * spec.K
+	for co := 0; co < spec.Cout; co++ {
+		wrow := weights.data[co*kk : (co+1)*kk]
+		dst := out.data[co*n : (co+1)*n]
+		for r := 0; r < n; r++ {
+			crow := cols.data[r*kk : (r+1)*kk]
+			var s float32
+			for j, v := range crow {
+				s += v * wrow[j]
+			}
+			if bias != nil {
+				s += bias[co]
+			}
+			dst[r] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// Col2Im scatters a gradient matrix of shape (oh*ow) × (Cin*K*K) —
+// the layout Im2Col produces — back into an input-shaped (Cin×H×W)
+// tensor, accumulating where patches overlap. It is the adjoint of
+// Im2Col and the core of the convolution backward pass.
+func Col2Im(cols *Tensor, spec ConvSpec, h, w int) *Tensor {
+	oh, ow := spec.OutSize(h, w)
+	if cols.Rank() != 2 || cols.Dim(0) != oh*ow || cols.Dim(1) != spec.Cin*spec.K*spec.K {
+		panic(fmt.Sprintf("tensor: Col2Im cols %v, want [%d %d]", cols.Shape(), oh*ow, spec.Cin*spec.K*spec.K))
+	}
+	out := New(spec.Cin, h, w)
+	od := out.Data()
+	cd := cols.Data()
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			base := row * spec.Cin * spec.K * spec.K
+			p := 0
+			for c := 0; c < spec.Cin; c++ {
+				chOff := c * h * w
+				for ky := 0; ky < spec.K; ky++ {
+					dstOff := chOff + (oy*spec.Stride+ky)*w + ox*spec.Stride
+					for kx := 0; kx < spec.K; kx++ {
+						od[dstOff+kx] += cd[base+p]
+						p++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// ConvGrads holds the gradients of a Conv2D call.
+type ConvGrads struct {
+	DWeights *Tensor   // Cout × (Cin·K·K)
+	DBias    []float32 // Cout
+	DInput   *Tensor   // Cin × H × W (nil if input gradient not requested)
+}
+
+// Conv2DBackward computes gradients of Conv2D: given the forward
+// input, the weights and the output gradient dOut (Cout×oh×ow), it
+// returns dWeights, dBias and (when wantInput) dInput.
+func Conv2DBackward(input, weights, dOut *Tensor, spec ConvSpec, wantInput bool) ConvGrads {
+	h, w := input.Dim(1), input.Dim(2)
+	oh, ow := spec.OutSize(h, w)
+	if dOut.Rank() != 3 || dOut.Dim(0) != spec.Cout || dOut.Dim(1) != oh || dOut.Dim(2) != ow {
+		panic(fmt.Sprintf("tensor: Conv2DBackward dOut %v, want [%d %d %d]", dOut.Shape(), spec.Cout, oh, ow))
+	}
+	n := oh * ow
+	kk := spec.Cin * spec.K * spec.K
+	cols := Im2Col(input, spec) // n × kk
+
+	g := ConvGrads{DWeights: New(spec.Cout, kk), DBias: make([]float32, spec.Cout)}
+	dw := g.DWeights.Data()
+	dod := dOut.Data()
+	cd := cols.Data()
+	for co := 0; co < spec.Cout; co++ {
+		grow := dod[co*n : (co+1)*n]
+		var bsum float32
+		wrow := dw[co*kk : (co+1)*kk]
+		for r := 0; r < n; r++ {
+			gv := grow[r]
+			bsum += gv
+			if gv == 0 {
+				continue
+			}
+			crow := cd[r*kk : (r+1)*kk]
+			for j, v := range crow {
+				wrow[j] += gv * v
+			}
+		}
+		g.DBias[co] = bsum
+	}
+
+	if wantInput {
+		// dCols[r][j] = Σ_co dOut[co][r]·W[co][j], then scatter.
+		dcols := New(n, kk)
+		dcd := dcols.Data()
+		wd := weights.Data()
+		for co := 0; co < spec.Cout; co++ {
+			grow := dod[co*n : (co+1)*n]
+			wrow := wd[co*kk : (co+1)*kk]
+			for r := 0; r < n; r++ {
+				gv := grow[r]
+				if gv == 0 {
+					continue
+				}
+				drow := dcd[r*kk : (r+1)*kk]
+				for j, v := range wrow {
+					drow[j] += gv * v
+				}
+			}
+		}
+		g.DInput = Col2Im(dcols, spec, h, w)
+	}
+	return g
+}

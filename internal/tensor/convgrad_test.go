@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), g> == <x, Col2Im(g)> for random x, g — the defining
+	// adjoint property.
+	rng := rand.New(rand.NewSource(1))
+	spec := ConvSpec{Cin: 2, Cout: 1, K: 3, Stride: 2}
+	h, w := 7, 9
+	x := New(2, h, w)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.NormFloat64())
+	}
+	cols := Im2Col(x, spec)
+	g := New(cols.Dim(0), cols.Dim(1))
+	for i := range g.Data() {
+		g.Data()[i] = float32(rng.NormFloat64())
+	}
+	lhs := float64(Dot(cols.Data(), g.Data()))
+	back := Col2Im(g, spec, h, w)
+	rhs := float64(Dot(x.Data(), back.Data()))
+	if math.Abs(lhs-rhs) > 1e-3*math.Abs(lhs)+1e-4 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestCol2ImShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad cols shape")
+		}
+	}()
+	Col2Im(New(3, 3), ConvSpec{Cin: 1, Cout: 1, K: 2, Stride: 1}, 5, 5)
+}
+
+// numericalConvGrad estimates d(sum(out·mask))/dθ by central
+// differences for a single parameter.
+func numericalLoss(input, weights *Tensor, bias []float32, spec ConvSpec, mask *Tensor) float64 {
+	out := Conv2D(input, weights, bias, spec)
+	return float64(Dot(out.Data(), mask.Data()))
+}
+
+func TestConv2DBackwardMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := ConvSpec{Cin: 2, Cout: 3, K: 3, Stride: 1}
+	h, w := 5, 6
+	input := New(2, h, w)
+	for i := range input.Data() {
+		input.Data()[i] = float32(rng.NormFloat64())
+	}
+	weights := New(3, 2*3*3)
+	for i := range weights.Data() {
+		weights.Data()[i] = float32(rng.NormFloat64()) * 0.3
+	}
+	bias := []float32{0.1, -0.2, 0.05}
+	oh, ow := spec.OutSize(h, w)
+	mask := New(3, oh, ow)
+	for i := range mask.Data() {
+		mask.Data()[i] = float32(rng.NormFloat64())
+	}
+
+	g := Conv2DBackward(input, weights, mask, spec, true)
+
+	const eps = 1e-3
+	check := func(name string, param []float32, grad []float32, idxs []int) {
+		for _, i := range idxs {
+			orig := param[i]
+			param[i] = orig + eps
+			up := numericalLoss(input, weights, bias, spec, mask)
+			param[i] = orig - eps
+			down := numericalLoss(input, weights, bias, spec, mask)
+			param[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-float64(grad[i])) > 2e-2*math.Max(1, math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, grad[i], num)
+			}
+		}
+	}
+	check("dW", weights.Data(), g.DWeights.Data(), []int{0, 5, 17, 30, 53})
+	check("dBias", bias, g.DBias, []int{0, 1, 2})
+	check("dInput", input.Data(), g.DInput.Data(), []int{0, 7, 23, 40, 59})
+}
+
+func TestConv2DBackwardNoInput(t *testing.T) {
+	spec := ConvSpec{Cin: 1, Cout: 1, K: 2, Stride: 1}
+	input := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	weights := FromSlice([]float32{1, 0, 0, 1}, 1, 4)
+	dOut := FromSlice([]float32{1}, 1, 1, 1)
+	g := Conv2DBackward(input, weights, dOut, spec, false)
+	if g.DInput != nil {
+		t.Fatal("DInput should be nil when not requested")
+	}
+	// dW = input patch, dBias = 1.
+	want := []float32{1, 2, 3, 4}
+	for i, v := range g.DWeights.Data() {
+		if v != want[i] {
+			t.Fatalf("dW = %v", g.DWeights.Data())
+		}
+	}
+	if g.DBias[0] != 1 {
+		t.Fatalf("dBias = %v", g.DBias)
+	}
+}
+
+func TestConv2DBackwardBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dOut shape mismatch")
+		}
+	}()
+	spec := ConvSpec{Cin: 1, Cout: 1, K: 2, Stride: 1}
+	Conv2DBackward(New(1, 4, 4), New(1, 4), New(1, 2, 2), spec, false)
+}

@@ -1,0 +1,59 @@
+package tensor
+
+import "fmt"
+
+// MaxPool2D applies K×K max pooling with stride K to a (C×H×W)
+// tensor, returning the pooled tensor and the argmax index (into the
+// input's flattened storage) per output element for the backward
+// pass.
+func MaxPool2D(input *Tensor, k int) (*Tensor, []int) {
+	if input.Rank() != 3 {
+		panic("tensor: MaxPool2D requires a rank-3 (C,H,W) input")
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %d must be positive", k))
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	oh, ow := h/k, w/k
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %d does not fit %dx%d input", k, h, w))
+	}
+	out := New(c, oh, ow)
+	arg := make([]int, c*oh*ow)
+	id, od := input.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(0)
+				bestIdx := -1
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						idx := ch*h*w + (oy*k+ky)*w + (ox*k + kx)
+						if bestIdx < 0 || id[idx] > best {
+							best = id[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := ch*oh*ow + oy*ow + ox
+				od[o] = best
+				arg[o] = bestIdx
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward routes the output gradient back to the argmax
+// positions.
+func MaxPool2DBackward(dOut *Tensor, arg []int, c, h, w int) *Tensor {
+	if dOut.Len() != len(arg) {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackward %d grads for %d argmaxes", dOut.Len(), len(arg)))
+	}
+	din := New(c, h, w)
+	dd := din.Data()
+	for o, idx := range arg {
+		dd[idx] += dOut.Data()[o]
+	}
+	return din
+}

@@ -1,0 +1,79 @@
+package tensor
+
+import "testing"
+
+func TestMaxPool2DKnown(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, arg := MaxPool2D(in, 2)
+	want := []float32{6, 8, 14, 16}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("pooled %v, want %v", out.Data(), want)
+		}
+	}
+	// argmax indices point at the max positions in the input.
+	for i, idx := range arg {
+		if in.Data()[idx] != want[i] {
+			t.Fatalf("arg[%d] = %d points at %v, want %v", i, idx, in.Data()[idx], want[i])
+		}
+	}
+}
+
+func TestMaxPool2DBackwardRoutesToArgmax(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	_, arg := MaxPool2D(in, 2)
+	dOut := FromSlice([]float32{7}, 1, 1, 1)
+	din := MaxPool2DBackward(dOut, arg, 1, 2, 2)
+	want := []float32{0, 0, 0, 7}
+	for i, v := range din.Data() {
+		if v != want[i] {
+			t.Fatalf("dInput %v, want %v", din.Data(), want)
+		}
+	}
+}
+
+func TestMaxPool2DPanics(t *testing.T) {
+	cases := []func(){
+		func() { MaxPool2D(New(2, 2), 2) },                               // wrong rank
+		func() { MaxPool2D(New(1, 2, 2), 0) },                            // bad window
+		func() { MaxPool2D(New(1, 2, 2), 5) },                            // window too big
+		func() { MaxPool2DBackward(New(1, 1, 1), []int{0, 1}, 1, 2, 2) }, // mismatch
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxPool2DNonSquareAndMultiChannel(t *testing.T) {
+	in := New(2, 6, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i)
+	}
+	out, arg := MaxPool2D(in, 2)
+	if out.Dim(0) != 2 || out.Dim(1) != 3 || out.Dim(2) != 2 {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	if len(arg) != out.Len() {
+		t.Fatal("argmax length mismatch")
+	}
+	// With increasing values the max is always the bottom-right of
+	// each window.
+	if out.At(0, 0, 0) != in.At(0, 1, 1) {
+		t.Fatal("wrong max")
+	}
+}

@@ -1,0 +1,345 @@
+// Package tensor provides the dense FP32 tensor type and the numeric
+// kernels (matrix multiply, im2col convolution, reductions, softmax and
+// squash) that the CapsNet library in this repository is built on.
+//
+// The package is deliberately small and allocation-conscious: CapsNet
+// inference spends nearly all its time in a handful of dense kernels,
+// and the performance model in internal/workload counts exactly the
+// operations these kernels perform.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor. The zero value is an
+// empty tensor; use New or FromSlice to create a usable one.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if
+// any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is
+// used directly (not copied). It panics if len(data) does not match the
+// shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutations are visible to the
+// tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %d (size %d)", x, i, t.shape[i]))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of the
+// same volume. It panics on a volume mismatch.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Equal reports whether t and o have identical shapes and elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have identical shapes and elementwise
+// |a-b| <= atol + rtol*|b|.
+func (t *Tensor) AllClose(o *Tensor, rtol, atol float64) bool {
+	if len(t.data) != len(o.data) {
+		return false
+	}
+	for i := range t.data {
+		a, b := float64(t.data[i]), float64(o.data[i])
+		if math.Abs(a-b) > atol+rtol*math.Abs(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+// MatMul computes c = a×b for 2-D tensors a (m×k) and b (k×n),
+// returning a new m×n tensor. It panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d and %d differ", k, k2))
+	}
+	c := New(m, n)
+	// ikj loop order keeps the inner loop streaming over b and c rows.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatVec computes y = a×x for a (m×k) and x (k), returning length-m y.
+func MatVec(a *Tensor, x []float32) []float32 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires a rank-2 tensor")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		panic(fmt.Sprintf("tensor: MatVec vector length %d != %d", len(x), k))
+	}
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of equal-length a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// SquaredNorm returns the squared Euclidean norm of v.
+func SquaredNorm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(s)
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Softmax writes the softmax of src into dst (which may alias src).
+// It is numerically stabilized by max subtraction.
+func Softmax(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Softmax length mismatch")
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxv))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Squash applies the capsule non-linearity of Eq. 3:
+//
+//	v = (|s|² / (1+|s|²)) · s/|s|
+//
+// writing the result into dst (which may alias src).
+func Squash(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Squash length mismatch")
+	}
+	sq := float64(SquaredNorm(src))
+	if sq == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	scale := float32(sq / (1 + sq) / math.Sqrt(sq))
+	for i := range src {
+		dst[i] = src[i] * scale
+	}
+}
+
+// ReLU applies max(0,x) elementwise in place.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// Sigmoid applies the logistic function elementwise in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// ArgMax returns the index of the largest element of v (first on ties).
+// It panics on an empty slice.
+func ArgMax(v []float32) int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range v[1:] {
+		if x > v[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of all elements of v.
+func Sum(v []float32) float32 {
+	var s float32
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float32) float32 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float32(len(v))
+}

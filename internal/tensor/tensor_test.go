@@ -1,0 +1,447 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	for i, v := range tt.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if tt.Rank() != 3 || tt.Dim(1) != 3 {
+		t.Fatalf("bad shape %v", tt.Shape())
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceAndAtSet(t *testing.T) {
+	tt := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := tt.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", got)
+	}
+	tt.Set(9, 0, 1)
+	if got := tt.At(0, 1); got != 9 {
+		t.Fatalf("after Set, At(0,1) = %v, want 9", got)
+	}
+}
+
+func TestFromSliceShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape/volume mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(42, 0, 0)
+	if a.At(0, 0) != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on reshape volume mismatch")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	c := FromSlice([]float32{1, 2.0001}, 2)
+	if !a.Equal(b) {
+		t.Fatal("identical tensors not Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different tensors reported Equal")
+	}
+	if !a.AllClose(c, 1e-3, 0) {
+		t.Fatal("AllClose should accept 1e-4 relative difference at rtol 1e-3")
+	}
+	if a.AllClose(c, 1e-6, 0) {
+		t.Fatal("AllClose should reject at rtol 1e-6")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c.Data(), want.Data())
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32()
+	}
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if got := MatMul(a, id); !got.AllClose(a, 1e-6, 1e-7) {
+		t.Fatal("A×I != A")
+	}
+	if got := MatMul(id, a); !got.AllClose(a, 1e-6, 1e-7) {
+		t.Fatal("I×A != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(5, 7)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32() - 0.5
+	}
+	x := make([]float32, 7)
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	y := MatVec(a, x)
+	xm := FromSlice(append([]float32(nil), x...), 7, 1)
+	want := MatMul(a, xm)
+	for i := range y {
+		if math.Abs(float64(y[i]-want.Data()[i])) > 1e-5 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, y[i], want.Data()[i])
+		}
+	}
+}
+
+func TestDotNormScale(t *testing.T) {
+	a := []float32{3, 4}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v, want 25", Dot(a, a))
+	}
+	if Norm(a) != 5 {
+		t.Fatalf("Norm = %v, want 5", Norm(a))
+	}
+	if SquaredNorm(a) != 25 {
+		t.Fatalf("SquaredNorm = %v, want 25", SquaredNorm(a))
+	}
+	Scale(2, a)
+	if a[0] != 6 || a[1] != 8 {
+		t.Fatalf("Scale result %v", a)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	Axpy(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	dst := make([]float32, 4)
+	Softmax(dst, src)
+	var sum float64
+	for i, v := range dst {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax[%d] = %v outside (0,1)", i, v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sums to %v, want 1", sum)
+	}
+	for i := 1; i < len(dst); i++ {
+		if dst[i] <= dst[i-1] {
+			t.Fatal("softmax must be monotone in its input")
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	src := []float32{0.5, -1, 2}
+	a := make([]float32, 3)
+	b := make([]float32, 3)
+	Softmax(a, src)
+	shifted := []float32{src[0] + 100, src[1] + 100, src[2] + 100}
+	Softmax(b, shifted)
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-5 {
+			t.Fatalf("softmax not shift invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSoftmaxLargeInputsStable(t *testing.T) {
+	src := []float32{1000, 1001}
+	dst := make([]float32, 2)
+	Softmax(dst, src)
+	if math.IsNaN(float64(dst[0])) || math.IsNaN(float64(dst[1])) {
+		t.Fatal("softmax overflowed on large inputs")
+	}
+}
+
+func TestSquashShrinksAndPreservesDirection(t *testing.T) {
+	src := []float32{3, 4}
+	dst := make([]float32, 2)
+	Squash(dst, src)
+	// |s| = 5, so |v| = 25/26 * 1 = 0.9615...
+	n := Norm(dst)
+	if math.Abs(float64(n)-25.0/26.0) > 1e-5 {
+		t.Fatalf("squash norm = %v, want %v", n, 25.0/26.0)
+	}
+	// Direction preserved: dst parallel to src.
+	if dst[0]*src[1]-dst[1]*src[0] > 1e-6 {
+		t.Fatal("squash changed direction")
+	}
+}
+
+func TestSquashZeroVector(t *testing.T) {
+	src := []float32{0, 0, 0}
+	dst := []float32{1, 2, 3}
+	Squash(dst, src)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("squash of zero vector must be zero")
+		}
+	}
+}
+
+func TestSquashNormAlwaysBelowOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		src := []float32{float32(a), float32(b), float32(c)}
+		for _, v := range src {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+		}
+		// Keep magnitudes representable in float32 squared-norm space.
+		for i := range src {
+			if src[i] > 1e15 {
+				src[i] = 1e15
+			}
+			if src[i] < -1e15 {
+				src[i] = -1e15
+			}
+		}
+		dst := make([]float32, 3)
+		Squash(dst, src)
+		return Norm(dst) <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUAndSigmoid(t *testing.T) {
+	x := []float32{-1, 0, 2}
+	ReLU(x)
+	if x[0] != 0 || x[1] != 0 || x[2] != 2 {
+		t.Fatalf("ReLU = %v", x)
+	}
+	s := []float32{0}
+	Sigmoid(s)
+	if math.Abs(float64(s[0])-0.5) > 1e-6 {
+		t.Fatalf("Sigmoid(0) = %v, want 0.5", s[0])
+	}
+}
+
+func TestArgMaxSumMean(t *testing.T) {
+	v := []float32{1, 5, 3, 5}
+	if ArgMax(v) != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", ArgMax(v))
+	}
+	if Sum(v) != 14 {
+		t.Fatalf("Sum = %v", Sum(v))
+	}
+	if Mean(v) != 3.5 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+}
+
+func TestConvSpecOutSizeAndValidate(t *testing.T) {
+	s := ConvSpec{Cin: 1, Cout: 256, K: 9, Stride: 1}
+	oh, ow := s.OutSize(28, 28)
+	if oh != 20 || ow != 20 {
+		t.Fatalf("OutSize(28,28) = %d,%d want 20,20", oh, ow)
+	}
+	s2 := ConvSpec{Cin: 256, Cout: 256, K: 9, Stride: 2}
+	oh, ow = s2.OutSize(20, 20)
+	if oh != 6 || ow != 6 {
+		t.Fatalf("OutSize(20,20,s2) = %d,%d want 6,6", oh, ow)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (ConvSpec{Cin: 0, Cout: 1, K: 1, Stride: 1}).Validate(); err == nil {
+		t.Fatal("zero Cin accepted")
+	}
+	if err := (ConvSpec{Cin: 1, Cout: 1, K: 0, Stride: 1}).Validate(); err == nil {
+		t.Fatal("zero K accepted")
+	}
+	if err := (ConvSpec{Cin: 1, Cout: 1, K: 1, Stride: 0}).Validate(); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+// naiveConv is a direct reference convolution used to cross-check the
+// im2col implementation.
+func naiveConv(input, weights *Tensor, bias []float32, spec ConvSpec) *Tensor {
+	h, w := input.Dim(1), input.Dim(2)
+	oh, ow := spec.OutSize(h, w)
+	out := New(spec.Cout, oh, ow)
+	for co := 0; co < spec.Cout; co++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ci := 0; ci < spec.Cin; ci++ {
+					for ky := 0; ky < spec.K; ky++ {
+						for kx := 0; kx < spec.K; kx++ {
+							iv := input.At(ci, oy*spec.Stride+ky, ox*spec.Stride+kx)
+							wv := weights.At(co, ci*spec.K*spec.K+ky*spec.K+kx)
+							s += iv * wv
+						}
+					}
+				}
+				if bias != nil {
+					s += bias[co]
+				}
+				out.Set(s, co, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := ConvSpec{Cin: 3, Cout: 5, K: 3, Stride: 2}
+	in := New(3, 9, 11)
+	for i := range in.Data() {
+		in.Data()[i] = rng.Float32() - 0.5
+	}
+	wt := New(5, 3*3*3)
+	for i := range wt.Data() {
+		wt.Data()[i] = rng.Float32() - 0.5
+	}
+	bias := []float32{0.1, -0.2, 0.3, 0, 1}
+	got := Conv2D(in, wt, bias, spec)
+	want := naiveConv(in, wt, bias, spec)
+	if !got.AllClose(want, 1e-5, 1e-6) {
+		t.Fatal("Conv2D disagrees with naive reference")
+	}
+}
+
+func TestConv2DNilBias(t *testing.T) {
+	spec := ConvSpec{Cin: 1, Cout: 1, K: 1, Stride: 1}
+	in := FromSlice([]float32{2, 4}, 1, 1, 2)
+	wt := FromSlice([]float32{3}, 1, 1)
+	out := Conv2D(in, wt, nil, spec)
+	if out.At(0, 0, 0) != 6 || out.At(0, 0, 1) != 12 {
+		t.Fatalf("Conv2D nil bias = %v", out.Data())
+	}
+}
+
+func TestIm2ColShape(t *testing.T) {
+	spec := ConvSpec{Cin: 2, Cout: 1, K: 3, Stride: 1}
+	in := New(2, 5, 5)
+	cols := Im2Col(in, spec)
+	if cols.Dim(0) != 9 || cols.Dim(1) != 18 {
+		t.Fatalf("Im2Col shape %v, want [9 18]", cols.Shape())
+	}
+}
+
+func TestConv2DBadWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad weight shape")
+		}
+	}()
+	spec := ConvSpec{Cin: 1, Cout: 2, K: 3, Stride: 1}
+	Conv2D(New(1, 5, 5), New(2, 5), nil, spec)
+}
+
+func TestMatMulAssociativityWithVectors(t *testing.T) {
+	// Property: (A·B)·x == A·(B·x) for random small matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 4)
+		b := New(4, 5)
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float32() - 0.5
+		}
+		for i := range b.Data() {
+			b.Data()[i] = rng.Float32() - 0.5
+		}
+		x := make([]float32, 5)
+		for i := range x {
+			x[i] = rng.Float32() - 0.5
+		}
+		left := MatVec(MatMul(a, b), x)
+		right := MatVec(a, MatVec(b, x))
+		for i := range left {
+			if math.Abs(float64(left[i]-right[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

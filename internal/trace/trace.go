@@ -1,0 +1,79 @@
+// Package trace records simulation timelines and writes them in the
+// Chrome trace-event format (chrome://tracing, Perfetto), so a
+// co-simulation run renders as a Gantt chart of vault activity and
+// communication phases.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one timeline entry (a subset of the trace-event spec: only
+// complete events, phase "X").
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Log accumulates events.
+type Log struct {
+	events []Event
+}
+
+// Complete records a complete ("X") event on process pid / track tid
+// spanning [start, start+dur) microseconds.
+func (l *Log) Complete(name, cat string, pid, tid int, start, dur float64, args map[string]string) {
+	if dur < 0 {
+		panic(fmt.Sprintf("trace: negative duration %v for %q", dur, name))
+	}
+	l.events = append(l.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: start, Dur: dur, PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded events sorted by start time.
+func (l *Log) Events() []Event {
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// WriteJSON writes the log in the Chrome trace-event JSON format.
+func (l *Log) WriteJSON(w io.Writer) error {
+	payload := struct {
+		TraceEvents []Event `json:"traceEvents"`
+		DisplayUnit string  `json:"displayTimeUnit"`
+	}{TraceEvents: l.Events(), DisplayUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(payload)
+}
+
+// TotalSpan returns the [min start, max end] extent of the log.
+func (l *Log) TotalSpan() (start, end float64) {
+	if len(l.events) == 0 {
+		return 0, 0
+	}
+	start = l.events[0].TS
+	for _, e := range l.events {
+		if e.TS < start {
+			start = e.TS
+		}
+		if e.TS+e.Dur > end {
+			end = e.TS + e.Dur
+		}
+	}
+	return start, end
+}

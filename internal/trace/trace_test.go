@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCompleteAndSpan(t *testing.T) {
+	var l Log
+	l.Complete("b", "cat", 0, 1, 5, 3, nil)
+	l.Complete("a", "cat", 0, 0, 0, 2, map[string]string{"k": "v"})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	start, end := l.TotalSpan()
+	if start != 0 || end != 8 {
+		t.Fatalf("span [%v, %v], want [0, 8]", start, end)
+	}
+	evs := l.Events()
+	if evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatal("Events must sort by start time")
+	}
+}
+
+func TestWriteJSONIsValidChromeTrace(t *testing.T) {
+	var l Log
+	l.Complete("phase", "vault-compute", 0, 3, 10, 4, map[string]string{"bytes": "64"})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 1 {
+		t.Fatalf("%d events", len(parsed.TraceEvents))
+	}
+	e := parsed.TraceEvents[0]
+	if e.Ph != "X" || e.TID != 3 || e.Dur != 4 || e.Args["bytes"] != "64" {
+		t.Fatalf("event %+v", e)
+	}
+	if !strings.Contains(buf.String(), "displayTimeUnit") {
+		t.Fatal("missing display unit")
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	var l Log
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Complete("x", "", 0, 0, 0, -1, nil)
+}
+
+func TestEmptySpan(t *testing.T) {
+	var l Log
+	if s, e := l.TotalSpan(); s != 0 || e != 0 {
+		t.Fatal("empty log span must be zero")
+	}
+}

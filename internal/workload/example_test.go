@@ -1,0 +1,30 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"pimcapsnet/internal/workload"
+)
+
+// ExampleByName inspects a Table 1 benchmark and the routing
+// intermediates that overwhelm GPU on-chip storage (Fig. 6a).
+func ExampleByName() {
+	b, _ := workload.ByName("Caps-MN1")
+	fmt.Println(b)
+	vars := b.RPVars()
+	fmt.Printf("û footprint: %.0f MB\n", vars.UHat/(1<<20))
+	fmt.Printf("ratio to P100's 5.31 MB on-chip: %.0fx\n", vars.Total()/(5.31*(1<<20)))
+	// Output:
+	// Caps-MN1(BS=100 L=1152 H=10 it=3)
+	// û footprint: 70 MB
+	// ratio to P100's 5.31 MB on-chip: 13x
+}
+
+// ExampleBenchmark_RPTotalFLOPs counts the routing procedure's
+// arithmetic for one batch.
+func ExampleBenchmark_RPTotalFLOPs() {
+	b, _ := workload.ByName("Caps-SV1")
+	fmt.Printf("%.2g FLOPs per batch\n", b.RPTotalFLOPs())
+	// Output:
+	// 2.5e+08 FLOPs per batch
+}

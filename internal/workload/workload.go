@@ -1,0 +1,342 @@
+// Package workload encodes the paper's benchmark suite (Table 1) and
+// an analytical operation/byte model of every CapsNet stage: the
+// Conv/PrimaryCaps/FC layers the host GPU keeps, and the five routing
+// procedure equations that PIM-CapsNet moves into memory. The same
+// counts drive the GPU characterization model (internal/gpusim), the
+// inter-vault distribution model (internal/distribute) and the energy
+// model (internal/energy), so every experiment in the paper is
+// evaluated against one consistent description of the work.
+package workload
+
+import "fmt"
+
+// Bytes per FP32 scalar.
+const WordBytes = 4
+
+// Benchmark is one row of Table 1 plus the derived CapsNet-MNIST-like
+// geometry needed to count Conv/PrimaryCaps/FC work.
+type Benchmark struct {
+	Name    string
+	Dataset string
+	// Table 1 configuration.
+	BatchSize int // BS
+	NumL      int // L capsules
+	NumH      int // H capsules
+	Iters     int // routing iterations
+	// Capsule dimensions (CapsNet-MNIST: 8-D low, 16-D high).
+	DimL, DimH int
+	// Input geometry for the derived conv front end.
+	InputC, InputH, InputW int
+	// Conv front end (CapsNet-MNIST: 256 9×9 stride-1 filters).
+	ConvChannels, ConvKernel, ConvStride int
+	// PrimaryCaps conv (9×9 stride-2); PrimaryChannels is derived so
+	// the primary-capsule count equals NumL.
+	PrimaryChannels, PrimaryKernel, PrimaryStride int
+	// TestSetSize is the number of inference inputs a full run
+	// processes (the characterization figures report whole-test-set
+	// times); batches = TestSetSize/BatchSize.
+	TestSetSize int
+}
+
+// Batches returns the number of batches in a full inference run.
+func (b Benchmark) Batches() int { return (b.TestSetSize + b.BatchSize - 1) / b.BatchSize }
+
+// String implements fmt.Stringer.
+func (b Benchmark) String() string {
+	return fmt.Sprintf("%s(BS=%d L=%d H=%d it=%d)", b.Name, b.BatchSize, b.NumL, b.NumH, b.Iters)
+}
+
+// derive fills the geometry fields from the Table 1 row.
+func derive(name, ds string, bs, nl, nh, iters, inC, inHW int) Benchmark {
+	b := Benchmark{
+		Name: name, Dataset: ds,
+		BatchSize: bs, NumL: nl, NumH: nh, Iters: iters,
+		DimL: 8, DimH: 16,
+		InputC: inC, InputH: inHW, InputW: inHW,
+		ConvChannels: 256, ConvKernel: 9, ConvStride: 1,
+		PrimaryKernel: 9, PrimaryStride: 2,
+		TestSetSize: 10000,
+	}
+	// Primary capsule channels so that channels·oh·ow = NumL.
+	co := (inHW-b.ConvKernel)/b.ConvStride + 1
+	po := (co-b.PrimaryKernel)/b.PrimaryStride + 1
+	if nl%(po*po) != 0 {
+		panic(fmt.Sprintf("workload: %s NumL=%d not divisible by primary grid %d", name, nl, po*po))
+	}
+	b.PrimaryChannels = nl / (po * po)
+	return b
+}
+
+// Benchmarks is the paper's Table 1: 12 CapsNets across 4 dataset
+// families with varying batch size, capsule counts and iterations.
+var Benchmarks = []Benchmark{
+	derive("Caps-MN1", "MNIST", 100, 1152, 10, 3, 1, 28),
+	derive("Caps-MN2", "MNIST", 200, 1152, 10, 3, 1, 28),
+	derive("Caps-MN3", "MNIST", 300, 1152, 10, 3, 1, 28),
+	derive("Caps-CF1", "CIFAR10", 100, 2304, 11, 3, 3, 32),
+	derive("Caps-CF2", "CIFAR10", 100, 3456, 11, 3, 3, 32),
+	derive("Caps-CF3", "CIFAR10", 100, 4608, 11, 3, 3, 32),
+	derive("Caps-EN1", "EMNIST Letter", 100, 1152, 26, 3, 1, 28),
+	derive("Caps-EN2", "EMNIST Balanced", 100, 1152, 47, 3, 1, 28),
+	derive("Caps-EN3", "EMNIST By Class", 100, 1152, 62, 3, 1, 28),
+	derive("Caps-SV1", "SVHN", 100, 576, 10, 3, 3, 32),
+	derive("Caps-SV2", "SVHN", 100, 576, 10, 6, 3, 32),
+	derive("Caps-SV3", "SVHN", 100, 576, 10, 9, 3, 32),
+}
+
+// ByName returns the Table 1 benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// LayerKind identifies a CapsNet stage in the per-layer breakdown.
+type LayerKind int
+
+// The four stages of Fig. 4's breakdown.
+const (
+	LayerConv LayerKind = iota
+	LayerLCaps
+	LayerHCaps // the routing procedure
+	LayerFC
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerConv:
+		return "Conv"
+	case LayerLCaps:
+		return "L Caps"
+	case LayerHCaps:
+		return "H Caps (RP)"
+	case LayerFC:
+		return "FC"
+	}
+	return fmt.Sprintf("LayerKind(%d)", int(k))
+}
+
+// LayerCost counts one layer's work for a whole batch.
+type LayerCost struct {
+	Kind LayerKind
+	// FLOPs is the arithmetic operation count.
+	FLOPs float64
+	// BytesIn/BytesOut are the compulsory off-chip bytes (inputs +
+	// weights, outputs) assuming a perfect cache.
+	BytesIn, BytesOut float64
+	// Intermediate is the size of the layer's live intermediate
+	// variables; when it exceeds on-chip storage the GPU re-streams
+	// it (Sec. 3.2 root cause 1).
+	Intermediate float64
+	// Shareable reports whether the intermediate state is shared
+	// across batch elements (RP's intermediates are not, which is why
+	// batching does not help — Observation 1).
+	Shareable bool
+	// SyncOps counts barrier-style aggregation points (Sec. 3.2 root
+	// cause 2).
+	SyncOps float64
+	// Kernels is the number of kernel launches the stage needs.
+	Kernels float64
+}
+
+// ConvCost models the front-end convolution for a whole batch.
+func (b Benchmark) ConvCost() LayerCost {
+	oh := (b.InputH-b.ConvKernel)/b.ConvStride + 1
+	ow := (b.InputW-b.ConvKernel)/b.ConvStride + 1
+	perImg := 2.0 * float64(b.ConvChannels) * float64(oh*ow) * float64(b.InputC*b.ConvKernel*b.ConvKernel)
+	weights := float64(b.ConvChannels*b.InputC*b.ConvKernel*b.ConvKernel) * WordBytes
+	in := float64(b.BatchSize*b.InputC*b.InputH*b.InputW) * WordBytes
+	out := float64(b.BatchSize*b.ConvChannels*oh*ow) * WordBytes
+	return LayerCost{
+		Kind:    LayerConv,
+		FLOPs:   perImg * float64(b.BatchSize),
+		BytesIn: in + weights, BytesOut: out,
+		Intermediate: weights, Shareable: true,
+		SyncOps: 1, Kernels: 1,
+	}
+}
+
+// ConvOutSize returns the conv layer's output spatial size.
+func (b Benchmark) ConvOutSize() (int, int) {
+	return (b.InputH-b.ConvKernel)/b.ConvStride + 1, (b.InputW-b.ConvKernel)/b.ConvStride + 1
+}
+
+// PrimaryCost models the PrimaryCaps conv + squash for a whole batch.
+func (b Benchmark) PrimaryCost() LayerCost {
+	ch, cw := b.ConvOutSize()
+	po := (ch-b.PrimaryKernel)/b.PrimaryStride + 1
+	cout := b.PrimaryChannels * b.DimL
+	perImg := 2.0*float64(cout)*float64(po*po)*float64(b.ConvChannels*b.PrimaryKernel*b.PrimaryKernel) +
+		float64(b.NumL)*float64(3*b.DimL+19) // squash per capsule
+	weights := float64(cout*b.ConvChannels*b.PrimaryKernel*b.PrimaryKernel) * WordBytes
+	in := float64(b.BatchSize*b.ConvChannels*ch*cw) * WordBytes
+	out := float64(b.BatchSize*b.NumL*b.DimL) * WordBytes
+	return LayerCost{
+		Kind:    LayerLCaps,
+		FLOPs:   perImg * float64(b.BatchSize),
+		BytesIn: in + weights, BytesOut: out,
+		Intermediate: weights, Shareable: true,
+		SyncOps: 2, Kernels: 2,
+	}
+}
+
+// FCCost models the paper's 512→1024→reconstruction decoder for a
+// whole batch.
+func (b Benchmark) FCCost() LayerCost {
+	in0 := b.NumH * b.DimH
+	recon := b.InputC * b.InputH * b.InputW
+	flopsPer := 2.0 * float64(in0*512+512*1024+1024*recon)
+	weights := float64(in0*512+512*1024+1024*recon) * WordBytes
+	in := float64(b.BatchSize*in0) * WordBytes
+	out := float64(b.BatchSize*recon) * WordBytes
+	return LayerCost{
+		Kind:    LayerFC,
+		FLOPs:   flopsPer * float64(b.BatchSize),
+		BytesIn: in + weights, BytesOut: out,
+		Intermediate: weights, Shareable: true,
+		SyncOps: 3, Kernels: 3,
+	}
+}
+
+// RPVariables sizes the routing procedure's variables in bytes for one
+// batch (Sec. 3.2 / Fig. 6a numerator).
+type RPVariables struct {
+	UHat    float64 // û: NB·NL·NH·CH — the dominant unshareable term
+	S, V    float64 // s, v: NB·NH·CH each
+	B, C    float64 // b, c: NL·NH each
+	Weights float64 // W: NL·NH·CL·CH (shareable)
+}
+
+// Total returns the unshareable intermediate footprint (everything the
+// routing iterations cycle through; weights excluded because they are
+// shared and resident).
+func (v RPVariables) Total() float64 { return v.UHat + v.S + v.V + v.B + v.C }
+
+// RPVars computes the routing-variable sizes for the benchmark.
+func (b Benchmark) RPVars() RPVariables {
+	nb, nl, nh := float64(b.BatchSize), float64(b.NumL), float64(b.NumH)
+	cl, ch := float64(b.DimL), float64(b.DimH)
+	return RPVariables{
+		UHat:    nb * nl * nh * ch * WordBytes,
+		S:       nb * nh * ch * WordBytes,
+		V:       nb * nh * ch * WordBytes,
+		B:       nl * nh * WordBytes,
+		C:       nl * nh * WordBytes,
+		Weights: nl * nh * cl * ch * WordBytes,
+	}
+}
+
+// RPEquation identifies one of the five routing equations.
+type RPEquation int
+
+// The five equations of Alg. 1.
+const (
+	EqPrediction  RPEquation = iota // Eq. 1: û = u×W
+	EqWeightedSum                   // Eq. 2: s = Σ û·c
+	EqSquash                        // Eq. 3: v = squash(s)
+	EqAgreement                     // Eq. 4: b += Σ v·û
+	EqSoftmax                       // Eq. 5: c = softmax(b)
+)
+
+// String implements fmt.Stringer.
+func (e RPEquation) String() string {
+	switch e {
+	case EqPrediction:
+		return "Eq1-prediction"
+	case EqWeightedSum:
+		return "Eq2-weighted-sum"
+	case EqSquash:
+		return "Eq3-squash"
+	case EqAgreement:
+		return "Eq4-agreement"
+	case EqSoftmax:
+		return "Eq5-softmax"
+	}
+	return fmt.Sprintf("RPEquation(%d)", int(e))
+}
+
+// RPEquationFLOPs returns the arithmetic work of one execution of the
+// given equation over the whole batch, using the paper's per-term
+// counts from Eqs. 6–11: (2CL−1) MAC-ops per û scalar, (2NL−1) per
+// aggregation scalar, (3CH+19) per squash vector, (2CH−1) per
+// agreement dot product, and ~5 ops per softmax element (exp + sum +
+// div as the PE executes them).
+func (b Benchmark) RPEquationFLOPs(eq RPEquation) float64 {
+	nb, nl, nh := float64(b.BatchSize), float64(b.NumL), float64(b.NumH)
+	cl, ch := float64(b.DimL), float64(b.DimH)
+	switch eq {
+	case EqPrediction:
+		return nb * nl * nh * ch * (2*cl - 1)
+	case EqWeightedSum:
+		return nb * nh * ch * (2*nl - 1)
+	case EqSquash:
+		return nb * nh * (3*ch + 19)
+	case EqAgreement:
+		return nb * nl * nh * (2*ch - 1)
+	case EqSoftmax:
+		return nl * nh * 5
+	}
+	panic(fmt.Sprintf("workload: unknown equation %v", eq))
+}
+
+// RPTotalFLOPs returns the routing procedure's arithmetic work for a
+// batch: Eq. 1 once, Eqs. 2–5 once per iteration (the paper's
+// simplified Eq. 7 structure).
+func (b Benchmark) RPTotalFLOPs() float64 {
+	t := b.RPEquationFLOPs(EqPrediction)
+	perIter := b.RPEquationFLOPs(EqWeightedSum) + b.RPEquationFLOPs(EqSquash) +
+		b.RPEquationFLOPs(EqAgreement) + b.RPEquationFLOPs(EqSoftmax)
+	return t + float64(b.Iters)*perIter
+}
+
+// RPCost models the routing procedure for a whole batch on a device
+// with the given on-chip capacity in bytes. The traffic model captures
+// Sec. 3.2's root cause: û (plus the smaller s/v/b/c) is touched twice
+// per iteration (Eq. 2 read, Eq. 4 read) and cannot stay on chip, so
+// each touch above the resident fraction goes off-chip.
+func (b Benchmark) RPCost(onChipBytes float64) LayerCost {
+	vars := b.RPVars()
+	// Compulsory traffic: u in, W in, û produced once, v out.
+	uIn := float64(b.BatchSize*b.NumL*b.DimL) * WordBytes
+	compulsory := uIn + vars.Weights + vars.UHat + vars.V
+
+	// Iterative traffic: per iteration û is read by Eq. 2 and Eq. 4;
+	// s/v are written+read; b/c written+read. The on-chip fraction is
+	// served from SRAM.
+	perIter := 2*vars.UHat + 2*(vars.S+vars.V) + 2*(vars.B+vars.C)
+	resident := onChipBytes / (vars.Total())
+	if resident > 1 {
+		resident = 1
+	}
+	missFactor := 1 - resident
+	traffic := compulsory + float64(b.Iters)*perIter*missFactor
+
+	// Synchronization: every aggregation in Eqs. 2 and 4 plus the
+	// softmax reduction forms a barrier per (j) or (i,j) tile group;
+	// model one barrier per kernel per iteration plus the
+	// block-level syncthreads proportional to aggregation tiles.
+	aggTiles := float64(b.BatchSize*b.NumH) /* Eq.2 */ + float64(b.NumL*b.NumH)/32 /* Eq.4 pre-agg warps */
+	syncOps := float64(b.Iters) * (aggTiles + float64(b.NumL))
+	kernels := 1 + float64(b.Iters)*4
+
+	return LayerCost{
+		Kind:         LayerHCaps,
+		FLOPs:        b.RPTotalFLOPs(),
+		BytesIn:      traffic,
+		BytesOut:     vars.V,
+		Intermediate: vars.Total(),
+		Shareable:    false,
+		SyncOps:      syncOps,
+		Kernels:      kernels,
+	}
+}
+
+// Layers returns the four per-batch layer costs in network order for a
+// device with the given on-chip bytes.
+func (b Benchmark) Layers(onChipBytes float64) []LayerCost {
+	return []LayerCost{b.ConvCost(), b.PrimaryCost(), b.RPCost(onChipBytes), b.FCCost()}
+}

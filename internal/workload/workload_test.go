@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksMatchTable1(t *testing.T) {
+	want := []struct {
+		name    string
+		ds      string
+		bs, l   int
+		h, iter int
+	}{
+		{"Caps-MN1", "MNIST", 100, 1152, 10, 3},
+		{"Caps-MN2", "MNIST", 200, 1152, 10, 3},
+		{"Caps-MN3", "MNIST", 300, 1152, 10, 3},
+		{"Caps-CF1", "CIFAR10", 100, 2304, 11, 3},
+		{"Caps-CF2", "CIFAR10", 100, 3456, 11, 3},
+		{"Caps-CF3", "CIFAR10", 100, 4608, 11, 3},
+		{"Caps-EN1", "EMNIST Letter", 100, 1152, 26, 3},
+		{"Caps-EN2", "EMNIST Balanced", 100, 1152, 47, 3},
+		{"Caps-EN3", "EMNIST By Class", 100, 1152, 62, 3},
+		{"Caps-SV1", "SVHN", 100, 576, 10, 3},
+		{"Caps-SV2", "SVHN", 100, 576, 10, 6},
+		{"Caps-SV3", "SVHN", 100, 576, 10, 9},
+	}
+	if len(Benchmarks) != len(want) {
+		t.Fatalf("have %d benchmarks, want %d", len(Benchmarks), len(want))
+	}
+	for i, w := range want {
+		b := Benchmarks[i]
+		if b.Name != w.name || b.Dataset != w.ds || b.BatchSize != w.bs ||
+			b.NumL != w.l || b.NumH != w.h || b.Iters != w.iter {
+			t.Fatalf("row %d = %+v, want %+v", i, b, w)
+		}
+		if b.DimL != 8 || b.DimH != 16 {
+			t.Fatalf("%s capsule dims %d/%d, want 8/16", b.Name, b.DimL, b.DimH)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("Caps-EN2")
+	if err != nil || b.NumH != 47 {
+		t.Fatalf("ByName: %v %+v", err, b)
+	}
+	if _, err := ByName("Caps-XX9"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPrimaryGeometryConsistent(t *testing.T) {
+	for _, b := range Benchmarks {
+		ch, cw := b.ConvOutSize()
+		if ch <= 0 || cw <= 0 {
+			t.Fatalf("%s conv output %dx%d", b.Name, ch, cw)
+		}
+		po := (ch-b.PrimaryKernel)/b.PrimaryStride + 1
+		if b.PrimaryChannels*po*po != b.NumL {
+			t.Fatalf("%s primary grid %d·%d² = %d != NumL %d", b.Name, b.PrimaryChannels, po, b.PrimaryChannels*po*po, b.NumL)
+		}
+	}
+}
+
+func TestRPVarsDominatedByUHat(t *testing.T) {
+	for _, b := range Benchmarks {
+		v := b.RPVars()
+		if v.UHat <= v.S+v.V+v.B+v.C {
+			t.Fatalf("%s û (%.0f) should dominate the intermediates", b.Name, v.UHat)
+		}
+		// Sanity for Caps-MN1: û = 100·1152·10·16·4 bytes.
+		if b.Name == "Caps-MN1" {
+			want := 100.0 * 1152 * 10 * 16 * 4
+			if v.UHat != want {
+				t.Fatalf("Caps-MN1 û = %v, want %v", v.UHat, want)
+			}
+		}
+	}
+}
+
+func TestIntermediatesExceedGPUStorage(t *testing.T) {
+	// Fig. 6a: intermediate variables exceed on-chip storage by 41×
+	// or more across all benchmarks for every evaluated GPU (largest
+	// on-chip storage is 16 MB on V100).
+	const v100 = 16 << 20
+	for _, b := range Benchmarks {
+		ratio := b.RPVars().Total() / v100
+		if ratio < 1 {
+			t.Fatalf("%s intermediates fit on chip (ratio %.1f) — contradicts Fig. 6a", b.Name, ratio)
+		}
+	}
+}
+
+func TestRPCostTrafficShrinksWithOnChip(t *testing.T) {
+	b := Benchmarks[0]
+	small := b.RPCost(1.73 * (1 << 20))
+	large := b.RPCost(16 * (1 << 20))
+	if large.BytesIn >= small.BytesIn {
+		t.Fatal("larger on-chip storage must reduce off-chip traffic")
+	}
+	huge := b.RPCost(1e12)
+	if huge.BytesIn >= small.BytesIn/2 {
+		t.Fatal("infinite cache must eliminate iterative traffic")
+	}
+}
+
+func TestRPCostUnshareable(t *testing.T) {
+	c := Benchmarks[0].RPCost(4 << 20)
+	if c.Shareable {
+		t.Fatal("RP intermediates must be marked unshareable (Observation 1)")
+	}
+	if c.Kind != LayerHCaps {
+		t.Fatalf("RP layer kind %v", c.Kind)
+	}
+}
+
+func TestRPFLOPsScaleWithConfig(t *testing.T) {
+	mn1, _ := ByName("Caps-MN1")
+	mn3, _ := ByName("Caps-MN3")
+	if mn3.RPTotalFLOPs() <= mn1.RPTotalFLOPs() {
+		t.Fatal("3× batch must increase RP FLOPs")
+	}
+	sv1, _ := ByName("Caps-SV1")
+	sv3, _ := ByName("Caps-SV3")
+	if sv3.RPTotalFLOPs() <= sv1.RPTotalFLOPs() {
+		t.Fatal("3× iterations must increase RP FLOPs")
+	}
+	cf1, _ := ByName("Caps-CF1")
+	cf3, _ := ByName("Caps-CF3")
+	if cf3.RPTotalFLOPs() <= cf1.RPTotalFLOPs() {
+		t.Fatal("2× L capsules must increase RP FLOPs")
+	}
+}
+
+func TestRPEquationFLOPsKnown(t *testing.T) {
+	b, _ := ByName("Caps-MN1")
+	// Eq. 1: NB·NL·NH·CH·(2CL−1) = 100·1152·10·16·15.
+	want := 100.0 * 1152 * 10 * 16 * 15
+	if got := b.RPEquationFLOPs(EqPrediction); got != want {
+		t.Fatalf("Eq1 FLOPs = %v, want %v", got, want)
+	}
+	// Eq. 3: NB·NH·(3CH+19) = 100·10·67.
+	if got := b.RPEquationFLOPs(EqSquash); got != 100*10*67 {
+		t.Fatalf("Eq3 FLOPs = %v, want %v", got, 100*10*67)
+	}
+}
+
+func TestLayerCostsPopulated(t *testing.T) {
+	for _, b := range Benchmarks {
+		layers := b.Layers(5.31 * (1 << 20))
+		if len(layers) != 4 {
+			t.Fatalf("%s: %d layers", b.Name, len(layers))
+		}
+		kinds := map[LayerKind]bool{}
+		for _, l := range layers {
+			if l.FLOPs <= 0 || l.BytesIn <= 0 || l.BytesOut <= 0 {
+				t.Fatalf("%s %v: non-positive cost %+v", b.Name, l.Kind, l)
+			}
+			kinds[l.Kind] = true
+		}
+		if len(kinds) != 4 {
+			t.Fatalf("%s: duplicate layer kinds", b.Name)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	b, _ := ByName("Caps-MN1")
+	if b.Batches() != 100 {
+		t.Fatalf("Batches = %d, want 100", b.Batches())
+	}
+	b2, _ := ByName("Caps-MN3")
+	if b2.Batches() != 34 { // ceil(10000/300)
+		t.Fatalf("Batches = %d, want 34", b2.Batches())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(Benchmarks[0].String(), "Caps-MN1") {
+		t.Fatal("Benchmark.String missing name")
+	}
+	for _, k := range []LayerKind{LayerConv, LayerLCaps, LayerHCaps, LayerFC} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "LayerKind(") {
+			t.Fatalf("LayerKind %d has no name", k)
+		}
+	}
+	for _, e := range []RPEquation{EqPrediction, EqWeightedSum, EqSquash, EqAgreement, EqSoftmax} {
+		if !strings.HasPrefix(e.String(), "Eq") {
+			t.Fatalf("RPEquation %d has no name", e)
+		}
+	}
+}
