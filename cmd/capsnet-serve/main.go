@@ -1,0 +1,135 @@
+// Command capsnet-serve is the batching inference server: it loads a
+// CapsNet checkpoint (written by capsnet-infer -save) and serves
+// classification over HTTP, micro-batching concurrent requests so the
+// routing procedure's softmax/squash work is shared across a batch —
+// the software analogue of PIM-CapsNet's batch-shared Alg. 1 and its
+// host/HMC pipelining.
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"image":[...C·H·W floats...]} → class, probs, poses
+//	GET  /v1/model     input geometry and routing config
+//	GET  /healthz      process liveness (always 200)
+//	GET  /readyz       traffic readiness (503 while draining)
+//	GET  /metrics      text exposition: request/latency/batch histograms
+//
+// Usage:
+//
+//	capsnet-serve -checkpoint net.gob [-addr :8080] [-max-batch 8]
+//	              [-max-delay 2ms] [-queue 64] [-timeout 5s] [-math exact]
+//	capsnet-serve -demo-classes 5    # seeded untrained demo network
+//
+// SIGTERM/SIGINT trigger graceful shutdown: readiness flips to 503,
+// open connections and queued batches drain, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	checkpoint := flag.String("checkpoint", "", "CapsNet checkpoint to serve (from capsnet-infer -save)")
+	demoClasses := flag.Int("demo-classes", 0, "serve a seeded untrained TinyConfig network with this many classes instead of a checkpoint")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "micro-batch size cap")
+	maxDelay := flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a partial batch to fill")
+	queueSize := flag.Int("queue", serve.DefaultQueueSize, "admission queue bound (backpressure beyond this)")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
+	drain := flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain bound")
+	mathName := flag.String("math", "exact", "routing numerics: exact | pe | pe-norecovery")
+	flag.Parse()
+
+	net, err := loadNetwork(*checkpoint, *demoClasses)
+	if err != nil {
+		log.Fatalf("capsnet-serve: %v", err)
+	}
+	mathOps, err := routingMath(*mathName)
+	if err != nil {
+		log.Fatalf("capsnet-serve: %v", err)
+	}
+
+	srv, err := serve.New(net, mathOps, serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueSize:      *queueSize,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+	})
+	if err != nil {
+		log.Fatalf("capsnet-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	cfg := net.Config
+	log.Printf("serving %dx%dx%d → %d classes (%s routing, %d iterations) on %s, max-batch %d, max-delay %v",
+		cfg.InputChannels, cfg.InputH, cfg.InputW, cfg.Classes, net.Digit.Mode, cfg.RoutingIterations,
+		*addr, *maxBatch, *maxDelay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining...", s)
+	case err := <-errCh:
+		log.Fatalf("capsnet-serve: %v", err)
+	}
+
+	// Graceful shutdown: stop advertising readiness, stop accepting
+	// connections and wait for in-flight handlers, then drain the
+	// batcher.
+	srv.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("batcher drain: %v", err)
+	}
+	log.Printf("drained, exiting")
+}
+
+// loadNetwork opens the checkpoint, or builds the seeded demo network
+// when -demo-classes is set.
+func loadNetwork(checkpoint string, demoClasses int) (*capsnet.Network, error) {
+	switch {
+	case checkpoint != "" && demoClasses > 0:
+		return nil, errors.New("use either -checkpoint or -demo-classes, not both")
+	case checkpoint != "":
+		f, err := os.Open(checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return capsnet.Load(f)
+	case demoClasses > 0:
+		return capsnet.New(capsnet.TinyConfig(demoClasses))
+	default:
+		return nil, errors.New("need -checkpoint (see capsnet-infer -save) or -demo-classes")
+	}
+}
+
+func routingMath(name string) (capsnet.RoutingMath, error) {
+	switch name {
+	case "exact":
+		return capsnet.ExactMath{}, nil
+	case "pe":
+		return capsnet.NewPEMath(), nil
+	case "pe-norecovery":
+		return capsnet.NewPEMathNoRecovery(), nil
+	}
+	return nil, fmt.Errorf("unknown -math %q (want exact, pe, or pe-norecovery)", name)
+}

@@ -1,0 +1,140 @@
+// Example serve is a load-generating client for capsnet-serve: it
+// reads the model geometry from /v1/model, generates matching seeded
+// synthetic images, fires concurrent classify requests so the server's
+// micro-batcher has something to batch, and finally prints the
+// batching- and latency-related lines of /metrics.
+//
+// Run the server first, then the client:
+//
+//	go run ./cmd/capsnet-serve -demo-classes 5 &
+//	go run ./examples/serve -addr http://localhost:8080 -n 64 -c 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimcapsnet/internal/dataset"
+	"pimcapsnet/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "capsnet-serve base URL")
+	n := flag.Int("n", 64, "number of requests")
+	concurrency := flag.Int("c", 8, "concurrent client goroutines")
+	seed := flag.Int64("seed", 42, "synthetic image seed")
+	flag.Parse()
+
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency},
+	}
+
+	// Discover the model geometry so the images fit.
+	var info serve.ModelInfo
+	if err := getJSON(client, *addr+"/v1/model", &info); err != nil {
+		fmt.Fprintf(os.Stderr, "fetching model info: %v (is capsnet-serve running?)\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model: %dx%dx%d → %d classes, %s routing × %d iterations\n",
+		info.Channels, info.Height, info.Width, info.Classes, info.RoutingMode, info.RoutingIterations)
+
+	spec := dataset.Spec{
+		Name: "client", Classes: info.Classes,
+		Channels: info.Channels, H: info.Height, W: info.Width,
+		Noise: 0.05, Seed: *seed,
+	}
+	gen := dataset.NewGenerator(spec)
+	bodies := make([][]byte, *n)
+	for i := range bodies {
+		img := make([]float32, info.Channels*info.Height*info.Width)
+		gen.Sample(img, i%info.Classes)
+		body, err := json.Marshal(serve.ClassifyRequest{Image: img})
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = body
+	}
+
+	// Fire the load.
+	var ok, rejected atomic.Int64
+	var batchSum atomic.Int64
+	work := make(chan int, *n)
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				resp, err := client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
+					continue
+				}
+				var cr serve.ClassifyResponse
+				if resp.StatusCode == http.StatusOK {
+					json.NewDecoder(resp.Body).Decode(&cr)
+					ok.Add(1)
+					batchSum.Add(int64(cr.Batch))
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					if resp.StatusCode == http.StatusTooManyRequests {
+						rejected.Add(1)
+					}
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d ok, %d rejected (429) in %v — %.1f req/s, mean ridden batch %.2f\n",
+		ok.Load(), rejected.Load(), elapsed.Round(time.Millisecond),
+		float64(ok.Load())/elapsed.Seconds(),
+		float64(batchSum.Load())/float64(max(ok.Load(), 1)))
+
+	// Show what the server measured.
+	resp, err := client.Get(*addr + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetching metrics: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	fmt.Println("\nserver /metrics (batching + latency):")
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, "capsnet_batch") ||
+			strings.HasPrefix(line, "capsnet_request_latency_seconds{") ||
+			strings.HasPrefix(line, "capsnet_queue_depth") ||
+			strings.HasPrefix(line, "capsnet_routing_iterations_total") {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+func getJSON(client *http.Client, url string, dst any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}

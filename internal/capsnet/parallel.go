@@ -20,8 +20,16 @@ func parallelFor(n int, fn func(k int)) {
 		}
 		return
 	}
+	// The channel is buffered for all n items and filled before any
+	// worker starts, so the dispatcher never serializes on a blocking
+	// per-item handoff in hot batched-forward loops; workers still pull
+	// items one at a time, keeping the dynamic load balancing.
+	next := make(chan int, n)
+	for k := 0; k < n; k++ {
+		next <- k
+	}
+	close(next)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -31,10 +39,6 @@ func parallelFor(n int, fn func(k int)) {
 			}
 		}()
 	}
-	for k := 0; k < n; k++ {
-		next <- k
-	}
-	close(next)
 	wg.Wait()
 }
 

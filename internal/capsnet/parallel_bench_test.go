@@ -1,0 +1,78 @@
+package capsnet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelForUnbuffered is the pre-fix implementation kept as the
+// benchmark baseline: an unbuffered channel makes the dispatcher
+// goroutine rendezvous with a worker on every single item, which
+// serializes dispatch in hot batched-forward loops.
+func parallelForUnbuffered(n int, fn func(k int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				fn(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]int32, n)
+		parallelFor(n, func(k int) { atomic.AddInt32(&hits[k], 1) })
+		for k, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times, want 1", n, k, h)
+			}
+		}
+	}
+}
+
+// itemWork simulates the per-sample cost of a small batched-forward
+// work item: enough flops to be realistic, little enough that channel
+// handoff overhead is visible.
+func itemWork(k int) {
+	s := float32(k)
+	for i := 0; i < 512; i++ {
+		s += s*0.5 + 1
+	}
+	if s == -1 {
+		panic("unreachable; defeats optimization")
+	}
+}
+
+func BenchmarkParallelForBuffered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parallelFor(256, itemWork)
+	}
+}
+
+func BenchmarkParallelForUnbuffered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parallelForUnbuffered(256, itemWork)
+	}
+}

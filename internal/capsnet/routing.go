@@ -193,20 +193,26 @@ func PredictionVectors(u, w *tensor.Tensor) *tensor.Tensor {
 	nh, ch := w.Dim(1), w.Dim(3)
 	out := tensor.New(nb, nl, nh, ch)
 	ud, wd, od := u.Data(), w.Data(), out.Data()
-	parallelFor(nb, func(k int) {
-		for i := 0; i < nl; i++ {
-			uv := ud[(k*nl+i)*cl : (k*nl+i+1)*cl]
-			wbase := i * nh * cl * ch
-			obase := ((k*nl + i) * nh) * ch
-			for j := 0; j < nh; j++ {
-				wm := wd[wbase+j*cl*ch : wbase+(j+1)*cl*ch]
-				ov := od[obase+j*ch : obase+(j+1)*ch]
-				for d := 0; d < cl; d++ {
-					uvd := uv[d]
+	// Parallelize over the L capsules and keep the batch loop
+	// innermost: each weight row is then streamed once per batch
+	// instead of once per sample, which is the data reuse that makes
+	// micro-batched serving cheaper per request (the paper's W_ij
+	// reuse across the input set). Per sample the accumulation order
+	// over d is unchanged, so results stay bit-identical to the
+	// sample-at-a-time loop, and each (k, i) output row is written by
+	// exactly one worker.
+	parallelFor(nl, func(i int) {
+		wbase := i * nh * cl * ch
+		for j := 0; j < nh; j++ {
+			wm := wd[wbase+j*cl*ch : wbase+(j+1)*cl*ch]
+			for d := 0; d < cl; d++ {
+				wrow := wm[d*ch : (d+1)*ch]
+				for k := 0; k < nb; k++ {
+					uvd := ud[(k*nl+i)*cl+d]
 					if uvd == 0 {
 						continue
 					}
-					wrow := wm[d*ch : (d+1)*ch]
+					ov := od[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
 					for e := 0; e < ch; e++ {
 						ov[e] += uvd * wrow[e]
 					}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Batcher errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull means the admission queue rejected the request;
+	// the server maps it to 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed means the batcher is shutting down; mapped to 503.
+	ErrClosed = errors.New("serve: server shutting down")
+)
+
+// Prediction is the per-request inference result.
+type Prediction struct {
+	// Class is the argmax class.
+	Class int
+	// Probs holds ‖v_j‖ per class — CapsNet's class probabilities.
+	Probs []float32
+	// Poses holds the final capsule pose vector per class
+	// (Classes×DigitDim).
+	Poses [][]float32
+}
+
+// RunFunc executes one assembled micro-batch and returns one
+// Prediction per image, in order. The batcher guarantees len(images)
+// ≥ 1 and calls it from a single runner goroutine.
+type RunFunc func(images [][]float32) []Prediction
+
+// request is one admitted classify call waiting for its batch.
+type request struct {
+	ctx  context.Context
+	img  []float32
+	done chan outcome // buffered(1); runner never blocks on it
+}
+
+type outcome struct {
+	pred  Prediction
+	batch int // size of the micro-batch the request rode in
+	err   error
+}
+
+// Batcher is the dynamic micro-batcher: admitted requests queue until
+// either MaxBatch accumulate or MaxDelay elapses since the batch's
+// first request, then the whole batch runs as one forward call so the
+// routing-procedure work is shared across requests (the software
+// analogue of the paper's batch-shared Alg. 1).
+//
+// Two goroutines implement the two-stage pipeline of internal/
+// pipeline.TwoStage: the dispatcher collects and assembles batch k+1
+// while the runner executes batch k, so collection/preprocessing
+// overlaps inference exactly like the paper's host stage overlaps the
+// HMC routing stage.
+type Batcher struct {
+	cfg     Config
+	run     RunFunc
+	metrics *Metrics
+	// routingIterations is reported to metrics per launched batch.
+	routingIterations int
+
+	q     *queue
+	runCh chan []*request
+
+	// timer creates the batch-fill deadline; tests inject a manual
+	// channel here for deterministic timer control.
+	timer func(time.Duration) <-chan time.Time
+
+	mu     sync.RWMutex
+	closed bool
+
+	stop           chan struct{}
+	dispatcherDone chan struct{}
+	runnerDone     chan struct{}
+}
+
+// NewBatcher builds a batcher over cfg (already defaulted/validated by
+// the caller) that executes batches with run. Call Start before
+// Submit.
+func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Batcher {
+	return &Batcher{
+		cfg:               cfg,
+		run:               run,
+		metrics:           m,
+		routingIterations: routingIterations,
+		q:                 newQueue(cfg.QueueSize),
+		runCh:             make(chan []*request, 1),
+		timer: func(d time.Duration) <-chan time.Time {
+			return time.After(d)
+		},
+		stop:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+		runnerDone:     make(chan struct{}),
+	}
+}
+
+// Start launches the dispatcher and runner goroutines.
+func (b *Batcher) Start() {
+	go b.dispatch()
+	go b.runLoop()
+}
+
+// QueueDepth is the current admission-queue depth.
+func (b *Batcher) QueueDepth() int { return b.q.Len() }
+
+// Submit admits one image and blocks until its batch has run or ctx
+// expires. It returns the prediction and the size of the micro-batch
+// the request shared. ErrQueueFull signals backpressure; ErrClosed
+// signals shutdown.
+func (b *Batcher) Submit(ctx context.Context, img []float32) (Prediction, int, error) {
+	r := &request{ctx: ctx, img: img, done: make(chan outcome, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return Prediction{}, 0, ErrClosed
+	}
+	admitted := b.q.TryPush(r)
+	b.mu.RUnlock()
+	if !admitted {
+		return Prediction{}, 0, ErrQueueFull
+	}
+	select {
+	case out := <-r.done:
+		return out.pred, out.batch, out.err
+	case <-ctx.Done():
+		// The request stays queued; the runner notices the expired
+		// context and discards it into the buffered done channel.
+		return Prediction{}, 0, ctx.Err()
+	}
+}
+
+// dispatch collects requests into micro-batches. One batch at a time
+// is under collection; handing it to runCh (capacity 1) lets the next
+// collection overlap the previous batch's execution.
+func (b *Batcher) dispatch() {
+	defer close(b.dispatcherDone)
+	for {
+		var first *request
+		select {
+		case first = <-b.q.C():
+		case <-b.stop:
+			b.drain(nil)
+			return
+		}
+		batch := []*request{first}
+		timeout := b.timer(b.cfg.MaxDelay)
+	collect:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.q.C():
+				batch = append(batch, r)
+			case <-timeout:
+				break collect
+			case <-b.stop:
+				b.drain(batch)
+				return
+			}
+		}
+		b.runCh <- batch
+	}
+}
+
+// drain flushes the partial batch under collection plus everything
+// still queued, then closes runCh so the runner exits after the last
+// batch. Queued requests are batched normally so in-flight work
+// completes with real results during graceful shutdown.
+func (b *Batcher) drain(batch []*request) {
+	for {
+		for len(batch) < b.cfg.MaxBatch {
+			r, ok := b.q.TryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		b.runCh <- batch
+		batch = nil
+	}
+	close(b.runCh)
+}
+
+// runLoop executes assembled batches one at a time.
+func (b *Batcher) runLoop() {
+	defer close(b.runnerDone)
+	for batch := range b.runCh {
+		b.runBatch(batch)
+	}
+}
+
+// runBatch drops requests whose context already expired, executes the
+// rest as one forward call, and completes every request's done
+// channel.
+func (b *Batcher) runBatch(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- outcome{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	images := make([][]float32, len(live))
+	for i, r := range live {
+		images[i] = r.img
+	}
+	preds := b.run(images)
+	if b.metrics != nil {
+		b.metrics.ObserveBatch(len(live), b.routingIterations)
+	}
+	for i, r := range live {
+		r.done <- outcome{pred: preds[i], batch: len(live)}
+	}
+}
+
+// Close stops admission, drains queued and in-flight batches, and
+// waits for both goroutines, bounded by ctx. Safe to call more than
+// once.
+func (b *Batcher) Close(ctx context.Context) error {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		close(b.stop)
+	}
+	select {
+	case <-b.dispatcherDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-b.runnerDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}

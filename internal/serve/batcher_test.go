@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRun returns a Prediction whose Class echoes the first pixel, so
+// tests can verify request↔result pairing inside a batch.
+func echoRun(images [][]float32) []Prediction {
+	preds := make([]Prediction, len(images))
+	for i, img := range images {
+		preds[i] = Prediction{Class: int(img[0]), Probs: []float32{img[0]}}
+	}
+	return preds
+}
+
+// neverTimer is an injected batch-fill timer that never fires (a nil
+// channel blocks forever), proving a code path needs no timer.
+func neverTimer(time.Duration) <-chan time.Time { return nil }
+
+// waitDepth spins (no sleeps) until the admission queue holds want
+// requests; Submit pushes synchronously before blocking, so this
+// settles deterministically.
+func waitDepth(t *testing.T, b *Batcher, want int) {
+	t.Helper()
+	for i := 0; b.QueueDepth() < want; i++ {
+		if i > 1e8 {
+			t.Fatalf("queue depth stuck at %d, want %d", b.QueueDepth(), want)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestFullBatchFiresImmediately: MaxBatch requests launch without the
+// MaxDelay timer ever firing.
+func TestFullBatchFiresImmediately(t *testing.T) {
+	cfg := Config{MaxBatch: 4, MaxDelay: time.Hour, QueueSize: 16}.withDefaults()
+	b := NewBatcher(cfg, echoRun, nil, 1)
+	b.timer = neverTimer
+	b.Start()
+	defer b.Close(context.Background())
+
+	var wg sync.WaitGroup
+	results := make([]outcome, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, batch, err := b.Submit(context.Background(), []float32{float32(i)})
+			results[i] = outcome{pred: pred, batch: batch, err: err}
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.pred.Class != i {
+			t.Errorf("request %d routed to result %d", i, res.pred.Class)
+		}
+		if res.batch != 4 {
+			t.Errorf("request %d rode batch of %d, want 4", i, res.batch)
+		}
+	}
+}
+
+// TestLoneRequestFiresAfterMaxDelay: a partial batch launches when the
+// (injected) fill timer fires, with no real sleeping.
+func TestLoneRequestFiresAfterMaxDelay(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: time.Hour, QueueSize: 16}.withDefaults()
+	b := NewBatcher(cfg, echoRun, nil, 1)
+	tick := make(chan time.Time)
+	timerArmed := make(chan time.Duration, 1)
+	b.timer = func(d time.Duration) <-chan time.Time {
+		timerArmed <- d
+		return tick
+	}
+	b.Start()
+	defer b.Close(context.Background())
+
+	done := make(chan outcome, 1)
+	go func() {
+		pred, batch, err := b.Submit(context.Background(), []float32{7})
+		done <- outcome{pred: pred, batch: batch, err: err}
+	}()
+
+	// The dispatcher arms the fill timer only after collecting the
+	// first request of the batch.
+	if d := <-timerArmed; d != time.Hour {
+		t.Fatalf("timer armed with %v, want MaxDelay", d)
+	}
+	select {
+	case res := <-done:
+		t.Fatalf("batch launched before the fill timer fired: %+v", res)
+	default:
+	}
+	tick <- time.Time{}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.pred.Class != 7 || res.batch != 1 {
+		t.Fatalf("got class %d batch %d, want class 7 batch 1", res.pred.Class, res.batch)
+	}
+}
+
+// TestQueueOverflowRejects: with the dispatcher not yet running, the
+// QueueSize+1-th submit is rejected with ErrQueueFull (the server maps
+// it to 429); starting the batcher then completes the queued ones.
+func TestQueueOverflowRejects(t *testing.T) {
+	cfg := Config{MaxBatch: 2, MaxDelay: time.Hour, QueueSize: 2}.withDefaults()
+	b := NewBatcher(cfg, echoRun, nil, 1)
+	b.timer = neverTimer
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Submit(context.Background(), []float32{float32(i)})
+		}(i)
+	}
+	waitDepth(t, b, 2)
+	if _, _, err := b.Submit(context.Background(), []float32{9}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
+	}
+	b.Start()
+	defer b.Close(context.Background())
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("queued request %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestCloseDrainsInFlight: requests admitted before shutdown complete
+// with real results, and submits after shutdown are rejected.
+func TestCloseDrainsInFlight(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: time.Hour, QueueSize: 16}.withDefaults()
+	b := NewBatcher(cfg, echoRun, nil, 1)
+	b.timer = neverTimer // only shutdown can launch the batch
+
+	var wg sync.WaitGroup
+	results := make([]outcome, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, batch, err := b.Submit(context.Background(), []float32{float32(i)})
+			results[i] = outcome{pred: pred, batch: batch, err: err}
+		}(i)
+	}
+	// Nothing consumes before Start, so all three are deterministically
+	// admitted once the depth reaches 3.
+	waitDepth(t, b, 3)
+	b.Start()
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("in-flight request %d dropped at shutdown: %v", i, res.err)
+		}
+		if res.pred.Class != i {
+			t.Errorf("request %d routed to result %d", i, res.pred.Class)
+		}
+	}
+	if _, _, err := b.Submit(context.Background(), []float32{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown submit returned %v, want ErrClosed", err)
+	}
+}
+
+// TestExpiredRequestSkipped: a request whose context dies while queued
+// is dropped by the runner without reaching RunFunc.
+func TestExpiredRequestSkipped(t *testing.T) {
+	cfg := Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 4}.withDefaults()
+	ran := 0
+	b := NewBatcher(cfg, func(images [][]float32) []Prediction {
+		ran += len(images)
+		return echoRun(images)
+	}, nil, 1)
+	b.timer = neverTimer
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the batch can run
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(ctx, []float32{1})
+		errCh <- err
+	}()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired submit returned %v, want context.Canceled", err)
+	}
+	b.Start()
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("RunFunc saw %d expired requests, want 0", ran)
+	}
+}

@@ -1,0 +1,96 @@
+// Package serve is the batching inference server for the CapsNet
+// library: it exposes a trained capsnet.Network over HTTP and routes
+// requests through a dynamic micro-batcher so squash/softmax/routing
+// work is shared across concurrent requests, exactly the property the
+// PIM-CapsNet paper exploits with its batch-shared Alg. 1 — the
+// serving layer is the software analogue of the paper's hardware
+// scheduling.
+//
+// The subsystem mirrors the two-stage host/HMC pipeline modeled in
+// internal/pipeline: request decode/validation (stage one, done per
+// connection by net/http handler goroutines) overlaps the batched
+// Network.Forward of the previous batch (stage two, one in-flight
+// batch executed by a dedicated runner goroutine), so steady-state
+// throughput is set by the slower of the two sides, as in
+// pipeline.TwoStage. Inside a batch, Forward fans the samples out
+// over GOMAXPROCS workers via capsnet's parallelFor.
+//
+// Everything is standard library only.
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config tunes the server and its micro-batcher. The zero value is
+// usable: every field falls back to the documented default.
+type Config struct {
+	// MaxBatch is the micro-batch size cap: a batch launches as soon
+	// as this many requests are queued. Default 8.
+	MaxBatch int
+	// MaxDelay is how long the batcher waits for a partial batch to
+	// fill before launching it anyway. Default 2ms.
+	MaxDelay time.Duration
+	// QueueSize bounds the admission queue; requests arriving while it
+	// is full are rejected with 429 + Retry-After (backpressure).
+	// Default 64.
+	QueueSize int
+	// RequestTimeout is the per-request deadline covering queueing and
+	// inference; expiry yields 504. Default 5s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Close waits for
+	// in-flight batches to finish. Default 10s.
+	DrainTimeout time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBatch       = 8
+	DefaultMaxDelay       = 2 * time.Millisecond
+	DefaultQueueSize      = 64
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultDrainTimeout   = 10 * time.Second
+)
+
+// withDefaults returns c with every zero field replaced by its
+// default.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = DefaultMaxDelay
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	return c
+}
+
+// Validate reports an error for a nonsensical configuration (after
+// defaulting).
+func (c Config) Validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch %d, need ≥ 1", c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("serve: negative MaxDelay %v", c.MaxDelay)
+	}
+	if c.QueueSize < 1 {
+		return fmt.Errorf("serve: QueueSize %d, need ≥ 1", c.QueueSize)
+	}
+	if c.RequestTimeout <= 0 {
+		return fmt.Errorf("serve: RequestTimeout %v, need > 0", c.RequestTimeout)
+	}
+	if c.DrainTimeout <= 0 {
+		return fmt.Errorf("serve: DrainTimeout %v, need > 0", c.DrainTimeout)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, lock-free histogram. Observations land
+// in the first bucket whose upper bound is ≥ the value; the final
+// implicit bucket is +Inf. Quantiles are estimated by linear
+// interpolation inside the containing bucket, which is exact enough
+// for p50/p95/p99 dashboards on exponential bucket layouts.
+type Histogram struct {
+	bounds   []float64       // ascending upper bounds, excluding +Inf
+	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count    atomic.Uint64
+	sumMicro atomic.Uint64 // Σ value, in millionths of a unit
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("serve: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("serve: histogram bounds must ascend")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sumMicro.Add(uint64(v * 1e6))
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations (microsecond-granular).
+func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts. Observations in the +Inf bucket are attributed to the
+// largest finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			hi := h.bounds[len(h.bounds)-1]
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if hi <= lo {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeText emits the histogram in Prometheus-style text exposition
+// under the given metric name, including quantile, bucket, sum and
+// count lines.
+func (h *Histogram) writeText(w io.Writer, name string) {
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// Metrics aggregates everything the /metrics endpoint exposes. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	requests  atomic.Uint64
+	responses [len(responseCodesArray)]atomic.Uint64
+	other     atomic.Uint64
+
+	// Latency is the end-to-end request latency in seconds, observed
+	// by the HTTP handler (queueing + batching + forward + encode).
+	Latency *Histogram
+	// BatchSize is the per-launched-batch request count.
+	BatchSize *Histogram
+
+	batches      atomic.Uint64
+	routingIters atomic.Uint64
+
+	// QueueDepth is sampled at scrape time from the admission queue.
+	QueueDepth func() int
+}
+
+// responseCodesArray is the fixed set of status codes the server
+// emits; anything else lands in the "other" counter.
+var responseCodesArray = [...]int{200, 400, 404, 405, 429, 500, 503, 504}
+
+// NewMetrics creates the metric set with the server's bucket layouts:
+// latency buckets from 0.5ms to 5s, batch-size buckets covering
+// power-of-two micro-batch caps up to 64.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Latency: NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
+		BatchSize: NewHistogram(1, 2, 4, 8, 16, 32, 64),
+	}
+}
+
+// IncRequest counts one admitted-or-not incoming classify request.
+func (m *Metrics) IncRequest() { m.requests.Add(1) }
+
+// IncResponse counts one response with the given HTTP status.
+func (m *Metrics) IncResponse(code int) {
+	for i, c := range responseCodesArray {
+		if c == code {
+			m.responses[i].Add(1)
+			return
+		}
+	}
+	m.other.Add(1)
+}
+
+// ObserveBatch records one launched batch of the given size running
+// the given number of routing iterations.
+func (m *Metrics) ObserveBatch(size, routingIterations int) {
+	m.batches.Add(1)
+	m.BatchSize.Observe(float64(size))
+	m.routingIters.Add(uint64(routingIterations))
+}
+
+// Batches returns the number of launched batches.
+func (m *Metrics) Batches() uint64 { return m.batches.Load() }
+
+// WriteText emits the full text exposition.
+func (m *Metrics) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "capsnet_requests_total %d\n", m.requests.Load())
+	for i, c := range responseCodesArray {
+		fmt.Fprintf(w, "capsnet_responses_total{code=\"%d\"} %d\n", c, m.responses[i].Load())
+	}
+	fmt.Fprintf(w, "capsnet_responses_total{code=\"other\"} %d\n", m.other.Load())
+	depth := 0
+	if m.QueueDepth != nil {
+		depth = m.QueueDepth()
+	}
+	fmt.Fprintf(w, "capsnet_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "capsnet_batches_total %d\n", m.batches.Load())
+	fmt.Fprintf(w, "capsnet_routing_iterations_total %d\n", m.routingIters.Load())
+	m.Latency.writeText(w, "capsnet_request_latency_seconds")
+	m.BatchSize.writeText(w, "capsnet_batch_size")
+}
+
+// Handler returns the /metrics endpoint.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteText(w)
+	})
+}

@@ -1,0 +1,42 @@
+package serve
+
+// queue is the bounded admission queue in front of the batcher. It is
+// a thin wrapper over a buffered channel so the batcher can select on
+// arrival, but centralizes the backpressure decision (non-blocking
+// TryPush) and the depth gauge the /metrics endpoint samples.
+type queue struct {
+	ch chan *request
+}
+
+func newQueue(size int) *queue {
+	return &queue{ch: make(chan *request, size)}
+}
+
+// TryPush admits r if a slot is free and reports whether it did; a
+// false return is the signal for 429 backpressure.
+func (q *queue) TryPush(r *request) bool {
+	select {
+	case q.ch <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// C exposes the receive side for the batcher's select loops.
+func (q *queue) C() <-chan *request { return q.ch }
+
+// TryPop removes one queued request without blocking (used by the
+// shutdown drain).
+func (q *queue) TryPop() (*request, bool) {
+	select {
+	case r := <-q.ch:
+		return r, true
+	default:
+		return nil, false
+	}
+}
+
+// Len is the current depth (requests admitted but not yet collected
+// into a batch).
+func (q *queue) Len() int { return len(q.ch) }

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pimcapsnet/internal/capsnet"
+)
+
+// ClassifyRequest is the POST /v1/classify body: one flattened image,
+// Channels·H·W values in row-major C×H×W order, pixels in [0, 1].
+type ClassifyRequest struct {
+	Image []float32 `json:"image"`
+}
+
+// ClassifyResponse is the classify reply. Probs are the capsule
+// lengths ‖v_j‖ (CapsNet's class probabilities), Poses the final
+// DigitDim-dimensional capsule vector per class, and Batch the size of
+// the micro-batch this request shared a forward pass with.
+type ClassifyResponse struct {
+	Class int         `json:"class"`
+	Probs []float32   `json:"probs"`
+	Poses [][]float32 `json:"poses"`
+	Batch int         `json:"batch"`
+}
+
+// ModelInfo is the GET /v1/model reply describing the loaded network,
+// so clients can size their images without out-of-band knowledge.
+type ModelInfo struct {
+	Channels          int    `json:"channels"`
+	Height            int    `json:"height"`
+	Width             int    `json:"width"`
+	Classes           int    `json:"classes"`
+	DigitDim          int    `json:"digit_dim"`
+	RoutingIterations int    `json:"routing_iterations"`
+	RoutingMode       string `json:"routing_mode"`
+}
+
+// Server wires a capsnet.Network, the micro-batcher, and the metrics
+// into an http.Handler. Construct with New, mount Handler, and call
+// Close for graceful shutdown.
+type Server struct {
+	cfg     Config
+	net     *capsnet.Network
+	batcher *Batcher
+	metrics *Metrics
+	mux     *http.ServeMux
+	// draining flips readiness to 503 the moment shutdown begins, so
+	// load balancers stop routing before in-flight work finishes.
+	draining atomic.Bool
+	imgLen   int
+}
+
+// New builds and starts a server over net. The network's weights must
+// stay immutable while the server runs (see capsnet.ForwardBatch's
+// concurrency contract). mathOps selects the routing numerics —
+// capsnet.ExactMath{} for host numerics, capsnet.NewPEMath() for the
+// PIM processing-element approximations.
+func New(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := NewMetrics()
+	run := func(images [][]float32) []Prediction {
+		out := network.ForwardBatch(images, mathOps)
+		nc, dd := network.Config.Classes, network.Config.DigitDim
+		preds := make([]Prediction, len(images))
+		classes := out.Predictions()
+		for k := range images {
+			probs := make([]float32, nc)
+			copy(probs, out.Lengths.Data()[k*nc:(k+1)*nc])
+			poses := make([][]float32, nc)
+			for j := 0; j < nc; j++ {
+				pose := make([]float32, dd)
+				copy(pose, out.Capsules.Data()[(k*nc+j)*dd:(k*nc+j+1)*dd])
+				poses[j] = pose
+			}
+			preds[k] = Prediction{Class: classes[k], Probs: probs, Poses: poses}
+		}
+		return preds
+	}
+	b := NewBatcher(cfg, run, m, network.Config.RoutingIterations)
+	s := newServer(network, cfg, b, m)
+	b.Start()
+	return s, nil
+}
+
+// newServer wires an already-constructed (possibly not yet started)
+// batcher; split from New so tests can inject instrumented batchers.
+func newServer(network *capsnet.Network, cfg Config, b *Batcher, m *Metrics) *Server {
+	m.QueueDepth = b.QueueDepth
+	s := &Server{cfg: cfg, net: network, batcher: b, metrics: m, imgLen: network.ImageLen()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", m.Handler())
+	return s
+}
+
+// Handler returns the root handler (mount it on an http.Server or
+// httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the metric set (the e2e tests and benchmarks read
+// it directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close performs the batcher half of graceful shutdown: readiness
+// flips to 503 immediately, then queued and in-flight batches drain
+// within cfg.DrainTimeout. Call it after http.Server.Shutdown has
+// stopped accepting connections.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.batcher.Close(ctx)
+}
+
+// StartDraining flips /readyz to 503 without stopping the batcher,
+// for the window between SIGTERM and http.Server.Shutdown completing.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest()
+	start := time.Now()
+	code, body := s.classify(r)
+	s.metrics.IncResponse(code)
+	if code == http.StatusTooManyRequests {
+		// Backpressure: a slot frees up after at most one batch fill,
+		// so an immediate retry is reasonable.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+	s.metrics.Latency.Observe(time.Since(start).Seconds())
+}
+
+// errorBody is the JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) classify(r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "POST only"}
+	}
+	var req ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)}
+	}
+	if len(req.Image) != s.imgLen {
+		return http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("image has %d values, want %d (C×H×W = %d×%d×%d)",
+				len(req.Image), s.imgLen, s.net.Config.InputChannels, s.net.Config.InputH, s.net.Config.InputW),
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	pred, batch, err := s.batcher.Submit(ctx, req.Image)
+	switch {
+	case err == nil:
+		return http.StatusOK, ClassifyResponse{Class: pred.Class, Probs: pred.Probs, Poses: pred.Poses, Batch: batch}
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, errorBody{Error: "admission queue full, retry later"}
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, errorBody{Error: "server shutting down"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
+	default:
+		return http.StatusInternalServerError, errorBody{Error: err.Error()}
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	cfg := s.net.Config
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ModelInfo{
+		Channels:          cfg.InputChannels,
+		Height:            cfg.InputH,
+		Width:             cfg.InputW,
+		Classes:           cfg.Classes,
+		DigitDim:          cfg.DigitDim,
+		RoutingIterations: cfg.RoutingIterations,
+		RoutingMode:       s.net.Digit.Mode.String(),
+	})
+}
+
+// handleHealthz reports process liveness: always 200 while the
+// process can serve HTTP at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness to take traffic: 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/dataset"
+)
+
+// testNetwork builds a small seeded network plus matching synthetic
+// images for end-to-end tests.
+func testNetwork(t testing.TB, classes int) (*capsnet.Network, [][]float32) {
+	t.Helper()
+	net, err := capsnet.New(capsnet.TinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dataset.Tiny(classes)
+	gen := dataset.NewGenerator(spec)
+	images := make([][]float32, 2*classes)
+	for i := range images {
+		images[i] = make([]float32, net.ImageLen())
+		gen.Sample(images[i], i%classes)
+	}
+	return net, images
+}
+
+func postClassify(t testing.TB, url string, img []float32) (*http.Response, ClassifyResponse) {
+	t.Helper()
+	body, err := json.Marshal(ClassifyRequest{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr ClassifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, cr
+}
+
+// TestServeMatchesDirectForwardBitForBit spins up the server on a tiny
+// seeded network and checks that responses — probabilities and pose
+// vectors — are bit-identical to a direct Network.Forward call, both
+// for sequential requests and for concurrent requests that share
+// micro-batches (per-sample routing makes batching numerically
+// invisible).
+func TestServeMatchesDirectForwardBitForBit(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	srv, err := New(net, capsnet.ExactMath{}, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Direct references, one forward per image (batch of one).
+	type ref struct {
+		probs []float32
+		poses [][]float32
+	}
+	refs := make([]ref, len(images))
+	nc, dd := net.Config.Classes, net.Config.DigitDim
+	for i, img := range images {
+		out := net.ForwardBatch([][]float32{img}, capsnet.ExactMath{})
+		r := ref{probs: out.Lengths.Data()[:nc]}
+		for j := 0; j < nc; j++ {
+			r.poses = append(r.poses, out.Capsules.Data()[j*dd:(j+1)*dd])
+		}
+		refs[i] = r
+	}
+
+	check := func(i int, cr ClassifyResponse) {
+		t.Helper()
+		for j, p := range cr.Probs {
+			if math.Float32bits(p) != math.Float32bits(refs[i].probs[j]) {
+				t.Fatalf("image %d class %d: served prob %x, direct %x",
+					i, j, math.Float32bits(p), math.Float32bits(refs[i].probs[j]))
+			}
+		}
+		for j, pose := range cr.Poses {
+			for d, v := range pose {
+				if math.Float32bits(v) != math.Float32bits(refs[i].poses[j][d]) {
+					t.Fatalf("image %d pose %d dim %d: served %x, direct %x",
+						i, j, d, math.Float32bits(v), math.Float32bits(refs[i].poses[j][d]))
+				}
+			}
+		}
+	}
+
+	// Sequential: each request rides its own batch.
+	for i, img := range images {
+		resp, cr := postClassify(t, ts.URL, img)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("image %d: status %d", i, resp.StatusCode)
+		}
+		check(i, cr)
+	}
+
+	// Concurrent: requests share micro-batches; numerics must not move.
+	var wg sync.WaitGroup
+	for i, img := range images {
+		wg.Add(1)
+		go func(i int, img []float32) {
+			defer wg.Done()
+			resp, cr := postClassify(t, ts.URL, img)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("image %d: status %d", i, resp.StatusCode)
+				return
+			}
+			check(i, cr)
+		}(i, img)
+	}
+	wg.Wait()
+
+	if srv.Metrics().Batches() == 0 {
+		t.Error("no batches recorded in metrics")
+	}
+}
+
+// TestServerEndpoints covers model info, health, readiness, request
+// validation, and the metrics exposition after traffic.
+func TestServerEndpoints(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	srv, err := New(net, capsnet.ExactMath{}, Config{MaxBatch: 2, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz %d", resp.StatusCode)
+	}
+
+	var info ModelInfo
+	resp, body := get("/v1/model")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Classes != classes || info.Height != net.Config.InputH || info.RoutingMode != "per-sample" {
+		t.Errorf("model info %+v inconsistent with config", info)
+	}
+
+	// Validation and method errors.
+	if resp, _ := get("/v1/classify"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET classify %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := postClassify(t, ts.URL, []float32{1, 2, 3}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short image %d, want 400", resp.StatusCode)
+	}
+
+	// Real traffic, then the exposition must show non-zero histograms.
+	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify %d", resp.StatusCode)
+	}
+	_, metricsText := get("/metrics")
+	for _, want := range []string{
+		"capsnet_batches_total 1",
+		fmt.Sprintf("capsnet_routing_iterations_total %d", net.Config.RoutingIterations),
+		`capsnet_batch_size_bucket{le="1"} 1`,
+		// Three classify attempts hit the handler: the 405, the 400,
+		// and the successful POST — every one observes latency.
+		"capsnet_request_latency_seconds_count 3",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+
+	// Draining flips readiness but not liveness.
+	srv.StartDraining()
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerBackpressure429 wires a server around a batcher whose
+// RunFunc is gated shut, fills the admission queue, and checks the
+// HTTP layer returns 429 with Retry-After.
+func TestServerBackpressure429(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	cfg := Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 1}.withDefaults()
+	m := NewMetrics()
+	b := NewBatcher(cfg, echoRun, m, net.Config.RoutingIterations)
+	b.timer = neverTimer
+	srv := newServer(net, cfg, b, m) // batcher deliberately not started
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusOK {
+			t.Errorf("queued request finished %d, want 200", resp.StatusCode)
+		}
+	}()
+	waitDepth(t, b, 1)
+	resp, _ := postClassify(t, ts.URL, images[1])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	b.Start()
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerShutdownRejectsNewWork: after Close, classify returns 503.
+func TestServerShutdown(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	srv, err := New(net, capsnet.ExactMath{}, Config{MaxBatch: 2, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown classify %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown classify %d, want 503", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
