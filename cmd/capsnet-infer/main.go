@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"pimcapsnet/internal/capsnet"
 	"pimcapsnet/internal/dataset"
@@ -40,12 +39,7 @@ func main() {
 	var net *capsnet.Network
 	var err error
 	if *loadPath != "" {
-		f, ferr := os.Open(*loadPath)
-		if ferr != nil {
-			panic(ferr)
-		}
-		net, err = capsnet.Load(f)
-		f.Close()
+		net, err = capsnet.LoadFile(*loadPath)
 		if err != nil {
 			panic(err)
 		}
@@ -95,12 +89,9 @@ func main() {
 		100*capsnet.Evaluate(net, test.Images, test.Labels, capsnet.NewPEMath()))
 
 	if *savePath != "" {
-		f, ferr := os.Create(*savePath)
-		if ferr != nil {
-			panic(ferr)
-		}
-		defer f.Close()
-		if err := net.Save(f); err != nil {
+		// SaveFile is crash-safe: temp file + fsync + rename, so an
+		// interrupted save never leaves a torn checkpoint at the path.
+		if err := net.SaveFile(*savePath); err != nil {
 			panic(err)
 		}
 		fmt.Printf("saved checkpoint to %s\n", *savePath)

@@ -47,10 +47,14 @@ func main() {
 	queueSize := flag.Int("queue", serve.DefaultQueueSize, "admission queue bound (backpressure beyond this)")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
 	drain := flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain bound")
+	batchDeadline := flag.Duration("batch-deadline", serve.DefaultBatchDeadline, "watchdog bound on one batch's inference (stalled batches are failed, not queued behind)")
 	mathName := flag.String("math", "exact", "routing numerics: exact | pe | pe-norecovery")
 	flag.Parse()
 
-	net, err := loadNetwork(*checkpoint, *demoClasses)
+	// Metrics exist before the model loads so checkpoint rejections
+	// land on the same /metrics endpoint the server exposes.
+	metrics := serve.NewMetrics()
+	net, err := loadNetwork(*checkpoint, *demoClasses, metrics)
 	if err != nil {
 		log.Fatalf("capsnet-serve: %v", err)
 	}
@@ -59,13 +63,14 @@ func main() {
 		log.Fatalf("capsnet-serve: %v", err)
 	}
 
-	srv, err := serve.New(net, mathOps, serve.Config{
+	srv, err := serve.NewWithMetrics(net, mathOps, serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxDelay:       *maxDelay,
 		QueueSize:      *queueSize,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
-	})
+		BatchDeadline:  *batchDeadline,
+	}, metrics)
 	if err != nil {
 		log.Fatalf("capsnet-serve: %v", err)
 	}
@@ -102,19 +107,15 @@ func main() {
 	log.Printf("drained, exiting")
 }
 
-// loadNetwork opens the checkpoint, or builds the seeded demo network
-// when -demo-classes is set.
-func loadNetwork(checkpoint string, demoClasses int) (*capsnet.Network, error) {
+// loadNetwork opens and verifies the checkpoint (corrupt files are
+// rejected with a typed error and counted in m), or builds the seeded
+// demo network when -demo-classes is set.
+func loadNetwork(checkpoint string, demoClasses int, m *serve.Metrics) (*capsnet.Network, error) {
 	switch {
 	case checkpoint != "" && demoClasses > 0:
 		return nil, errors.New("use either -checkpoint or -demo-classes, not both")
 	case checkpoint != "":
-		f, err := os.Open(checkpoint)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return capsnet.Load(f)
+		return serve.LoadCheckpoint(checkpoint, m)
 	case demoClasses > 0:
 		return capsnet.New(capsnet.TinyConfig(demoClasses))
 	default:

@@ -2,7 +2,9 @@ package capsnet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"pimcapsnet/internal/tensor"
 )
@@ -75,7 +77,14 @@ func (c Config) Validate() error {
 	if oh <= 0 || ow <= 0 {
 		return fmt.Errorf("capsnet: conv kernel %d does not fit input %dx%d", c.ConvKernel, c.InputH, c.InputW)
 	}
-	ph, pw := (tensor.ConvSpec{Cin: c.ConvChannels, Cout: c.PrimaryChannels * c.PrimaryDim, K: c.PrimaryKernel, Stride: c.PrimaryStride}).OutSize(oh, ow)
+	if c.PrimaryChannels <= 0 || c.PrimaryDim <= 0 {
+		return fmt.Errorf("capsnet: invalid primary caps %d·%d", c.PrimaryChannels, c.PrimaryDim)
+	}
+	primSpec := tensor.ConvSpec{Cin: c.ConvChannels, Cout: c.PrimaryChannels * c.PrimaryDim, K: c.PrimaryKernel, Stride: c.PrimaryStride}
+	if err := primSpec.Validate(); err != nil {
+		return err
+	}
+	ph, pw := primSpec.OutSize(oh, ow)
 	if ph <= 0 || pw <= 0 {
 		return fmt.Errorf("capsnet: primary kernel %d does not fit conv output %dx%d", c.PrimaryKernel, oh, ow)
 	}
@@ -90,8 +99,24 @@ type Network struct {
 	Digit   *CapsLayer
 	Dec     *Decoder
 
+	// RoutingInputHook, when non-nil, observes (and may mutate) the
+	// flattened primary-capsule activations (B×L×DimIn) immediately
+	// before the routing procedure. It exists for fault injection
+	// (internal/fault's NaN/Inf and forced-panic injectors); nil — the
+	// default — costs one pointer check per forward pass.
+	RoutingInputHook func(data []float32)
+
 	convH, convW int // conv output spatial size
+
+	// fallbacks counts forward passes' per-sample exact-math routing
+	// re-runs triggered by the finite-value guard.
+	fallbacks atomic.Uint64
 }
+
+// RoutingFallbacks returns how many samples' routing has been re-run
+// with exact math after the approximate path produced non-finite
+// values.
+func (n *Network) RoutingFallbacks() uint64 { return n.fallbacks.Load() }
 
 // New builds a network from cfg with seeded random initialization.
 func New(cfg Config) (*Network, error) {
@@ -129,6 +154,16 @@ type Output struct {
 	// Primary holds the primary capsules, B×L×DimIn (kept for the
 	// trainer).
 	Primary *tensor.Tensor
+	// ExactFallbacks lists the batch indices whose routing was re-run
+	// with ExactMath after the approximate math path produced
+	// non-finite capsules (the finite-value guard's degradation
+	// ladder: approx → exact). Nil when no sample degraded.
+	ExactFallbacks []int
+	// NonFinite lists the batch indices whose capsules are still
+	// non-finite after the exact-math fallback (e.g. the routing
+	// inputs themselves were corrupt); serving layers must fail these
+	// samples instead of emitting NaN probabilities.
+	NonFinite []int
 }
 
 // Predictions returns the argmax class per batch element.
@@ -157,7 +192,12 @@ func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
 		caps := n.Primary.Forward(feat) // numL×PrimaryDim
 		copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
 	})
+	if hook := n.RoutingInputHook; hook != nil {
+		hook(u.Data())
+	}
 	res := n.Digit.Forward(u, mathOps)
+	out := &Output{Capsules: res.V, Routing: res, Primary: u}
+	n.finiteGuard(u, out, mathOps)
 	lengths := tensor.New(nb, n.Config.Classes)
 	for k := 0; k < nb; k++ {
 		for j := 0; j < n.Config.Classes; j++ {
@@ -165,7 +205,64 @@ func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
 			lengths.Data()[k*n.Config.Classes+j] = tensor.Norm(res.V.Data()[off : off+n.Config.DigitDim])
 		}
 	}
-	return &Output{Capsules: res.V, Lengths: lengths, Routing: res, Primary: u}
+	out.Lengths = lengths
+	return out
+}
+
+// allFinite reports whether every element of xs is a finite float32
+// (exponent field not all-ones, covering both NaN and ±Inf).
+func allFinite(xs []float32) bool {
+	for _, v := range xs {
+		if math.Float32bits(v)&0x7f800000 == 0x7f800000 {
+			return false
+		}
+	}
+	return true
+}
+
+// finiteGuard is the routing-level degradation ladder: after the
+// digit layer ran with mathOps, any sample whose output capsules are
+// non-finite (the bit-trick approximations of internal/fp32 saturate
+// to 0/±Inf and can amplify to NaN) has its routing re-run with
+// ExactMath — the host-precision path — and the fallback counted.
+// Samples still non-finite after the exact re-run (corrupt inputs,
+// flipped weights) are reported in out.NonFinite so the serving layer
+// can fail them individually instead of crashing or emitting NaN.
+func (n *Network) finiteGuard(u *tensor.Tensor, out *Output, mathOps RoutingMath) {
+	nb := u.Dim(0)
+	rowV := n.Digit.NumOut * n.Digit.DimOut
+	vd := out.Routing.V.Data()
+	_, exact := mathOps.(ExactMath)
+	for k := 0; k < nb; k++ {
+		if allFinite(vd[k*rowV : (k+1)*rowV]) {
+			continue
+		}
+		if !exact {
+			n.rerouteSample(u, &out.Routing, k)
+			n.fallbacks.Add(1)
+			out.ExactFallbacks = append(out.ExactFallbacks, k)
+			if allFinite(vd[k*rowV : (k+1)*rowV]) {
+				continue
+			}
+		}
+		out.NonFinite = append(out.NonFinite, k)
+	}
+}
+
+// rerouteSample re-runs the digit layer's routing for batch element k
+// alone with ExactMath, splicing the recovered capsules, coefficients
+// and logits back into res. Under RoutePerSample this reproduces
+// exactly what a full exact-math batch pass would compute for that
+// sample.
+func (n *Network) rerouteSample(u *tensor.Tensor, res *RoutingResult, k int) {
+	numL, dimIn := n.Digit.NumIn, n.Digit.DimIn
+	uk := tensor.FromSlice(u.Data()[k*numL*dimIn:(k+1)*numL*dimIn], 1, numL, dimIn)
+	rk := n.Digit.Forward(uk, ExactMath{})
+	rowV := n.Digit.NumOut * n.Digit.DimOut
+	rowC := numL * n.Digit.NumOut
+	copy(res.V.Data()[k*rowV:(k+1)*rowV], rk.V.Data())
+	copy(res.C.Data()[k*rowC:(k+1)*rowC], rk.C.Data())
+	copy(res.B.Data()[k*rowC:(k+1)*rowC], rk.B.Data())
 }
 
 // Reconstruct runs the decoder on the capsules of batch element k,

@@ -5,10 +5,40 @@ import (
 	"sync"
 )
 
+// panicBox captures the first panic raised by a pool of workers so
+// the caller goroutine can re-raise it after the pool drains. Without
+// this, a panic inside a worker goroutine kills the whole process —
+// no recover() on the serving path can reach it — which is exactly
+// the failure mode the fault-injection campaign exercises.
+type panicBox struct {
+	once sync.Once
+	val  any
+}
+
+// capture records p if it is the first panic seen.
+func (b *panicBox) capture(p any) {
+	b.once.Do(func() { b.val = p })
+}
+
+// repanic re-raises the captured panic, if any, on the calling
+// goroutine. Call it only after the worker WaitGroup has drained (the
+// Wait provides the happens-before edge for reading val).
+func (b *panicBox) repanic() {
+	if b.val != nil {
+		panic(b.val)
+	}
+}
+
 // parallelFor runs fn(k) for k in [0, n) across GOMAXPROCS workers.
 // Work items must write to disjoint state (every use in this package
 // writes per-sample slices), so results are identical to the serial
 // loop.
+//
+// If any fn panics, the panic is recovered on its worker, the pool
+// finishes the remaining items it can, and the first panic is
+// re-raised on the caller goroutine — so callers (and ultimately the
+// serve batcher) see the same control flow as a panicking serial
+// loop instead of a process crash.
 func parallelFor(n int, fn func(k int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -29,23 +59,34 @@ func parallelFor(n int, fn func(k int)) {
 		next <- k
 	}
 	close(next)
-	var wg sync.WaitGroup
+	var (
+		wg  sync.WaitGroup
+		box panicBox
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					box.capture(p)
+				}
+			}()
 			for k := range next {
 				fn(k)
 			}
 		}()
 	}
 	wg.Wait()
+	box.repanic()
 }
 
 // parallelChunks splits [0, n) into one contiguous chunk per worker
 // and runs fn(worker, lo, hi) concurrently; workers receive distinct
 // worker indices so they can own private accumulation buffers that the
-// caller merges deterministically afterwards.
+// caller merges deterministically afterwards. Worker panics are
+// recovered and the first one re-raised on the caller goroutine, as
+// in parallelFor.
 func parallelChunks(n, workers int, fn func(worker, lo, hi int)) int {
 	if workers > n {
 		workers = n
@@ -54,7 +95,10 @@ func parallelChunks(n, workers int, fn func(worker, lo, hi int)) int {
 		fn(0, 0, n)
 		return 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg  sync.WaitGroup
+		box panicBox
+	)
 	chunk := (n + workers - 1) / workers
 	used := 0
 	for w := 0; w < workers; w++ {
@@ -70,10 +114,16 @@ func parallelChunks(n, workers int, fn func(worker, lo, hi int)) int {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					box.capture(p)
+				}
+			}()
 			fn(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	box.repanic()
 	return used
 }
 

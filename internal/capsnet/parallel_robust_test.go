@@ -1,0 +1,105 @@
+package capsnet
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// errBoom is a recognizable panic payload for the recovery tests.
+var errBoom = errors.New("boom")
+
+// TestParallelForRepanicsOnCaller: a worker panic must not kill the
+// process; it is re-raised on the calling goroutine with the original
+// value, like a panicking serial loop.
+func TestParallelForRepanicsOnCaller(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >1 worker to exercise the pool path")
+	}
+	var ran atomic.Int64
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, errBoom) {
+			t.Fatalf("recovered %v, want the original panic value", p)
+		}
+		if ran.Load() == 0 {
+			t.Fatal("no work item ran")
+		}
+	}()
+	parallelFor(64, func(k int) {
+		if k == 17 {
+			panic(errBoom)
+		}
+		ran.Add(1)
+	})
+	t.Fatal("parallelFor returned instead of panicking")
+}
+
+// TestParallelForSerialPathPanics: with n=1 the serial path panics
+// directly on the caller.
+func TestParallelForSerialPathPanics(t *testing.T) {
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("serial-path panic was swallowed")
+		}
+	}()
+	parallelFor(1, func(int) { panic(errBoom) })
+}
+
+// TestParallelForResultsUnchanged: the recovery wrapper must not
+// perturb the no-fault path.
+func TestParallelForResultsUnchanged(t *testing.T) {
+	const n = 257
+	got := make([]int, n)
+	parallelFor(n, func(k int) { got[k] = k * k })
+	for k := 0; k < n; k++ {
+		if got[k] != k*k {
+			t.Fatalf("item %d = %d, want %d", k, got[k], k*k)
+		}
+	}
+}
+
+// TestParallelChunksRepanicsOnCaller mirrors the parallelFor test for
+// the chunked variant.
+func TestParallelChunksRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("chunk worker panic was swallowed")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, errBoom) {
+			t.Fatalf("recovered %v, want the original panic value", p)
+		}
+	}()
+	parallelChunks(64, 4, func(worker, lo, hi int) {
+		if worker == 2 {
+			panic(errBoom)
+		}
+	})
+	t.Fatal("parallelChunks returned instead of panicking")
+}
+
+// TestParallelChunksNoFault: worker count and coverage are unchanged
+// by the recovery wrapper.
+func TestParallelChunksNoFault(t *testing.T) {
+	covered := make([]atomic.Int32, 100)
+	used := parallelChunks(100, 4, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	if used != 4 {
+		t.Fatalf("used %d workers, want 4", used)
+	}
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}

@@ -1,12 +1,30 @@
 package capsnet
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"pimcapsnet/internal/tensor"
 )
+
+// checkpointMagic is the versioned header every checkpoint starts
+// with: 7 bytes of format name plus one format-version byte. Bump the
+// version byte on any incompatible change to the framing or payload.
+const checkpointMagic = "PIMCAPS\x01"
+
+// ErrCorruptCheckpoint is wrapped by every structural rejection a
+// checkpoint can fail with — bad magic, truncation, CRC mismatch,
+// undecodable payload, or tensor geometry inconsistent with the
+// stored config. errors.Is(err, ErrCorruptCheckpoint) distinguishes
+// "the file is damaged" from I/O errors like a missing path.
+var ErrCorruptCheckpoint = errors.New("capsnet: corrupt checkpoint")
 
 // netState is the gob wire format of a trained network: the
 // architecture config plus every parameter tensor flattened.
@@ -20,9 +38,11 @@ type netState struct {
 	DecB                    [][]float32
 }
 
-// Save serializes the network (architecture + all weights) to w. The
-// format is Go-gob based and versioned only by the Config structure;
-// it is intended for checkpointing within this library.
+// Save serializes the network (architecture + all weights) to w in
+// the framed checkpoint format: an 8-byte versioned magic header, the
+// gob-encoded state, and a little-endian CRC32 (IEEE) trailer over
+// header+payload, so Load can reject truncated or bit-flipped files
+// instead of silently loading garbage.
 func (n *Network) Save(w io.Writer) error {
 	st := netState{
 		Config:   n.Config,
@@ -38,53 +58,245 @@ func (n *Network) Save(w io.Writer) error {
 			st.DecB = append(st.DecB, l.Bias)
 		}
 	}
-	return gob.NewEncoder(w).Encode(st)
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(w, h)
+	if _, err := io.WriteString(mw, checkpointMagic); err != nil {
+		return fmt.Errorf("capsnet: writing checkpoint header: %w", err)
+	}
+	if err := gob.NewEncoder(mw).Encode(st); err != nil {
+		return fmt.Errorf("capsnet: encoding checkpoint: %w", err)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("capsnet: writing checkpoint trailer: %w", err)
+	}
+	return nil
 }
 
-// Load deserializes a network previously written by Save.
+// Load deserializes a network previously written by Save, verifying
+// the magic header, the CRC32 trailer, and the consistency of every
+// stored tensor with the stored architecture before any weight is
+// accepted. All structural failures wrap ErrCorruptCheckpoint.
 func Load(r io.Reader) (*Network, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("capsnet: reading checkpoint: %w", err)
+	}
+	if len(raw) < len(checkpointMagic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than header+trailer", ErrCorruptCheckpoint, len(raw))
+	}
+	if string(raw[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q (not a %q checkpoint, or a pre-framing legacy file)",
+			ErrCorruptCheckpoint, raw[:len(checkpointMagic)], checkpointMagic[:7])
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: CRC32 %08x, trailer says %08x (truncated or bit-flipped)",
+			ErrCorruptCheckpoint, got, want)
+	}
 	var st netState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("capsnet: decoding network: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(body[len(checkpointMagic):])).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: decoding state: %v", ErrCorruptCheckpoint, err)
+	}
+	return restoreState(st)
+}
+
+// paramLimit bounds the per-tensor element count Load accepts (2^28
+// float32s ≈ 1 GiB): a crafted config cannot drive the rebuild into
+// multi-gigabyte allocations before the length checks run.
+const paramLimit = 1 << 28
+
+// mulCap multiplies non-negative sizes, reporting false when the
+// product would exceed paramLimit (which also rules out overflow).
+func mulCap(a, b int) (int, bool) {
+	if a < 0 || b < 0 {
+		return 0, false
+	}
+	if b != 0 && a > paramLimit/b {
+		return 0, false
+	}
+	return a * b, true
+}
+
+// checkpointShape holds the tensor lengths a config implies, computed
+// without allocating so Load can validate the stored slices first.
+type checkpointShape struct {
+	convW, convB, primW, primB, digitW int
+	decW, decB                         []int
+}
+
+// shapeOf mirrors New's geometry arithmetic. It returns an error
+// (wrapping ErrCorruptCheckpoint) when the config is invalid or
+// implies absurdly large tensors.
+func shapeOf(cfg Config) (checkpointShape, error) {
+	var sh checkpointShape
+	if err := cfg.Validate(); err != nil {
+		return sh, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	ok := true
+	mul := func(dims ...int) int {
+		acc := 1
+		for _, d := range dims {
+			var good bool
+			acc, good = mulCap(acc, d)
+			ok = ok && good
+		}
+		return acc
+	}
+	sh.convW = mul(cfg.ConvChannels, cfg.InputChannels, cfg.ConvKernel, cfg.ConvKernel)
+	sh.convB = cfg.ConvChannels
+	primCout := mul(cfg.PrimaryChannels, cfg.PrimaryDim)
+	sh.primW = mul(primCout, cfg.ConvChannels, cfg.PrimaryKernel, cfg.PrimaryKernel)
+	sh.primB = primCout
+	convSpec := tensor.ConvSpec{Cin: cfg.InputChannels, Cout: cfg.ConvChannels, K: cfg.ConvKernel, Stride: cfg.ConvStride}
+	oh, ow := convSpec.OutSize(cfg.InputH, cfg.InputW)
+	primSpec := tensor.ConvSpec{Cin: cfg.ConvChannels, Cout: primCout, K: cfg.PrimaryKernel, Stride: cfg.PrimaryStride}
+	ph, pw := primSpec.OutSize(oh, ow)
+	numL := mul(cfg.PrimaryChannels, ph, pw)
+	sh.digitW = mul(numL, cfg.Classes, cfg.PrimaryDim, cfg.DigitDim)
+	if cfg.WithDecoder {
+		capsInput := mul(cfg.Classes, cfg.DigitDim)
+		output := mul(cfg.InputChannels, cfg.InputH, cfg.InputW)
+		sh.decW = []int{mul(512, capsInput), mul(1024, 512), mul(output, 1024)}
+		sh.decB = []int{512, 1024, output}
+	}
+	if !ok {
+		return sh, fmt.Errorf("%w: config implies more than %d parameters in one tensor", ErrCorruptCheckpoint, paramLimit)
+	}
+	return sh, nil
+}
+
+// restoreState validates every slice length of st against the
+// geometry its config implies, then — and only then — rebuilds the
+// network and copies the weights in.
+func restoreState(st netState) (*Network, error) {
+	sh, err := shapeOf(st.Config)
+	if err != nil {
+		return nil, err
+	}
+	checkLen := func(what string, got, want int) error {
+		if got != want {
+			return fmt.Errorf("%w: %s has %d values, config implies %d", ErrCorruptCheckpoint, what, got, want)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		what      string
+		got, want int
+	}{
+		{"conv weights", len(st.ConvW), sh.convW},
+		{"conv bias", len(st.ConvB), sh.convB},
+		{"primary weights", len(st.PrimaryW), sh.primW},
+		{"primary bias", len(st.PrimaryB), sh.primB},
+		{"digit weights", len(st.DigitW), sh.digitW},
+		{"decoder layers", len(st.DecW), len(sh.decW)},
+		{"decoder biases", len(st.DecB), len(sh.decB)},
+	} {
+		if err := checkLen(c.what, c.got, c.want); err != nil {
+			return nil, err
+		}
+	}
+	for i := range sh.decW {
+		if err := checkLen(fmt.Sprintf("decoder[%d] weights", i), len(st.DecW[i]), sh.decW[i]); err != nil {
+			return nil, err
+		}
+		if err := checkLen(fmt.Sprintf("decoder[%d] bias", i), len(st.DecB[i]), sh.decB[i]); err != nil {
+			return nil, err
+		}
 	}
 	n, err := New(st.Config)
 	if err != nil {
 		return nil, fmt.Errorf("capsnet: rebuilding network: %w", err)
 	}
-	restore := func(dst *tensor.Tensor, src []float32, what string) error {
-		if len(src) != dst.Len() {
-			return fmt.Errorf("capsnet: %s has %d weights, want %d", what, len(src), dst.Len())
-		}
-		copy(dst.Data(), src)
-		return nil
-	}
-	if err := restore(n.Conv.Weights, st.ConvW, "conv"); err != nil {
-		return nil, err
-	}
-	if err := restore(n.Primary.Conv.Weights, st.PrimaryW, "primary"); err != nil {
-		return nil, err
-	}
-	if err := restore(n.Digit.Weights, st.DigitW, "digit"); err != nil {
-		return nil, err
-	}
-	if len(st.ConvB) != len(n.Conv.Bias) || len(st.PrimaryB) != len(n.Primary.Conv.Bias) {
-		return nil, fmt.Errorf("capsnet: bias length mismatch")
-	}
+	copy(n.Conv.Weights.Data(), st.ConvW)
 	copy(n.Conv.Bias, st.ConvB)
+	copy(n.Primary.Conv.Weights.Data(), st.PrimaryW)
 	copy(n.Primary.Conv.Bias, st.PrimaryB)
+	copy(n.Digit.Weights.Data(), st.DigitW)
 	if n.Dec != nil {
-		if len(st.DecW) != len(n.Dec.Layers) {
-			return nil, fmt.Errorf("capsnet: decoder has %d layers, checkpoint has %d", len(n.Dec.Layers), len(st.DecW))
-		}
 		for i, l := range n.Dec.Layers {
-			if err := restore(l.Weights, st.DecW[i], fmt.Sprintf("decoder[%d]", i)); err != nil {
-				return nil, err
-			}
-			if len(st.DecB[i]) != len(l.Bias) {
-				return nil, fmt.Errorf("capsnet: decoder[%d] bias mismatch", i)
-			}
+			copy(l.Weights.Data(), st.DecW[i])
 			copy(l.Bias, st.DecB[i])
 		}
+	}
+	return n, nil
+}
+
+// checkpointCrashHook, when non-nil, is called by SaveFile between
+// its durability stages ("written", "synced", "renamed") so the fault
+// campaign can simulate a crash at any point and assert the old
+// checkpoint survives. Test-only; nil in production.
+var checkpointCrashHook func(stage string)
+
+// SaveFile atomically and durably writes the checkpoint to path:
+// the framed format goes to a temp file in the same directory, is
+// fsynced, and is renamed over path, after which the directory entry
+// is fsynced too. A crash at any point leaves either the complete old
+// file or the complete new file — never a torn mix — and any stray
+// temp file fails Load's CRC check rather than masquerading as a
+// model.
+func (n *Network) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("capsnet: creating temp checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+	}()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	if hook := checkpointCrashHook; hook != nil {
+		hook("written")
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("capsnet: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		return fmt.Errorf("capsnet: closing checkpoint: %w", err)
+	}
+	f = nil
+	if hook := checkpointCrashHook; hook != nil {
+		hook("synced")
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("capsnet: publishing checkpoint: %w", err)
+	}
+	tmp = ""
+	if hook := checkpointCrashHook; hook != nil {
+		hook("renamed")
+	}
+	// Best-effort directory fsync so the rename itself is durable;
+	// some filesystems refuse to sync directories, which is not worth
+	// failing a successfully renamed checkpoint over.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile opens and verifies a checkpoint written by SaveFile (or
+// Save). Structural damage — truncation, bit flips, bad framing —
+// surfaces as an error wrapping ErrCorruptCheckpoint.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	return n, nil
 }

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finite(x float32) bool {
+	return !math.IsNaN(float64(x)) && !math.IsInf(float64(x), 0)
+}
+
+// TestFlipBitDeterminism: the same seed yields the same flip stream,
+// so a logged seed replays a campaign exactly.
+func TestFlipBitDeterminism(t *testing.T) {
+	a := make([]float32, 64)
+	b := make([]float32, 64)
+	for i := range a {
+		a[i] = float32(i) * 0.25
+		b[i] = float32(i) * 0.25
+	}
+	ia, ib := New(42), New(42)
+	for i := 0; i < 32; i++ {
+		ai, ab := ia.FlipBit(a)
+		bi, bb := ib.FlipBit(b)
+		if ai != bi || ab != bb {
+			t.Fatalf("flip %d diverged: (%d,%d) vs (%d,%d)", i, ai, ab, bi, bb)
+		}
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("element %d diverged: %x vs %x", i, math.Float32bits(a[i]), math.Float32bits(b[i]))
+		}
+	}
+}
+
+// TestFlipBitInverts: flipping the same (index, bit) twice restores
+// the original value, so campaigns can undo their own corruption.
+func TestFlipBitRoundTrip(t *testing.T) {
+	data := []float32{1.5}
+	in := New(7)
+	idx, bit := in.FlipBit(data)
+	if idx != 0 {
+		t.Fatalf("idx %d in 1-element slice", idx)
+	}
+	data[0] = math.Float32frombits(math.Float32bits(data[0]) ^ (1 << uint(bit)))
+	if data[0] != 1.5 {
+		t.Fatalf("double flip gave %g, want 1.5", data[0])
+	}
+}
+
+// TestReset rewinds the decision stream.
+func TestReset(t *testing.T) {
+	in := New(99)
+	a := make([]float32, 16)
+	i1, b1 := in.FlipBit(a)
+	in.Reset()
+	i2, b2 := in.FlipBit(a)
+	if i1 != i2 || b1 != b2 {
+		t.Fatalf("reset did not rewind: (%d,%d) vs (%d,%d)", i1, b1, i2, b2)
+	}
+}
+
+// TestCorruptNonFinite poisons elements with NaN/Inf only.
+func TestCorruptNonFinite(t *testing.T) {
+	data := make([]float32, 32)
+	New(3).CorruptNonFinite(data, 8)
+	poisoned := 0
+	for _, v := range data {
+		if !finite(v) {
+			poisoned++
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("no element poisoned")
+	}
+	if poisoned > 8 {
+		t.Fatalf("%d elements poisoned, asked for 8", poisoned)
+	}
+}
+
+// TestGateCountdown: a gate armed for n fires exactly n times, under
+// concurrency, and the zero value never fires.
+func TestGateCountdown(t *testing.T) {
+	var zero Gate
+	if zero.Fire() || zero.Armed() {
+		t.Fatal("zero-value gate fired")
+	}
+	var g Gate
+	g.Arm(10)
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g.Fire() {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 10 {
+		t.Fatalf("gate fired %d times, armed for 10", n)
+	}
+	g.Arm(5)
+	g.Disarm()
+	if g.Fire() {
+		t.Fatal("disarmed gate fired")
+	}
+}
+
+// TestHooksDisarmedAreNoOps: every hook builder is inert while its
+// gate is disarmed.
+func TestHooksDisarmedAreNoOps(t *testing.T) {
+	in := New(1)
+	var g Gate // disarmed
+	img := []float32{1, 2, 3, 4}
+	images := [][]float32{img}
+	CorruptBatchHook(in, &g, 2)(images)
+	FlipBatchHook(in, &g, 2)(images)
+	PanicBatchHook(&g)(images)
+	StallBatchHook(&g, time.Hour)(images)
+	CorruptSliceHook(in, &g, 2)(img)
+	PanicSliceHook(&g)(img)
+	for i, v := range img {
+		if v != float32(i+1) {
+			t.Fatalf("disarmed hook mutated element %d: %g", i, v)
+		}
+	}
+}
+
+// TestPanicHookCarriesSentinel: an injected panic is recognizable via
+// errors.Is on the recovered value.
+func TestPanicHookCarriesSentinel(t *testing.T) {
+	var g Gate
+	g.Arm(1)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("armed panic hook did not panic")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrInjectedPanic) {
+			t.Fatalf("panic value %v, want ErrInjectedPanic", p)
+		}
+	}()
+	PanicBatchHook(&g)(nil)
+}
+
+// TestChainBatchHooks runs hooks in order and skips nils.
+func TestChainBatchHooks(t *testing.T) {
+	var order []int
+	h := ChainBatchHooks(
+		func([][]float32) { order = append(order, 1) },
+		nil,
+		func([][]float32) { order = append(order, 2) },
+	)
+	h(nil)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("chain order %v, want [1 2]", order)
+	}
+}

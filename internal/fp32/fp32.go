@@ -44,12 +44,23 @@ var expTruncAdj = func() float64 {
 // exponent bit-shift (magic constant) — the "simple low-cost logic"
 // the paper adopts for the inverse square root in Eq. 3. Maximum
 // relative error is about 3.4%.
+//
+// Saturation at the domain edges is explicit, mirroring what a PE
+// with a special-value detector does: 0 → +Inf, negative → NaN,
+// +Inf → 0, NaN → NaN. Denormal positive inputs go through the bit
+// trick and yield a finite positive (if wildly inaccurate) result.
 func FastInvSqrt(x float32) float32 {
 	if x <= 0 {
 		if x == 0 {
 			return float32(math.Inf(1))
 		}
 		return float32(math.NaN())
+	}
+	if x != x { // NaN fails every ordered comparison above
+		return x
+	}
+	if math.IsInf(float64(x), 1) {
+		return 0
 	}
 	i := math.Float32bits(x)
 	i = 0x5f3759df - (i >> 1)
@@ -61,7 +72,10 @@ func FastInvSqrt(x float32) float32 {
 // (paper Fig. 11 flow 3-2-1-2-1). Maximum relative error ≈ 0.2%.
 func FastInvSqrtNR(x float32) float32 {
 	y := FastInvSqrt(x)
-	if x > 0 && !math.IsInf(float64(y), 0) {
+	// Refine only genuine approximations: skip the saturated cases
+	// (y = 0 for x = +Inf, ±Inf, NaN), where the Newton step would
+	// manufacture NaN out of Inf·0.
+	if x > 0 && y != 0 && !math.IsInf(float64(y), 0) && y == y {
 		y = y * (1.5 - 0.5*x*y*y)
 	}
 	return y
@@ -69,9 +83,18 @@ func FastInvSqrtNR(x float32) float32 {
 
 // FastRecip approximates 1/x by bit-level exponent negation. Maximum
 // relative error is a few percent.
+//
+// Saturation at the domain edges is explicit: ±0 → +Inf, ±Inf → ±0
+// (sign preserved), NaN → NaN.
 func FastRecip(x float32) float32 {
 	if x == 0 {
 		return float32(math.Inf(1))
+	}
+	if x != x {
+		return x
+	}
+	if math.IsInf(float64(x), 0) {
+		return float32(math.Copysign(0, float64(x)))
 	}
 	neg := x < 0
 	if neg {
@@ -90,7 +113,9 @@ func FastRecip(x float32) float32 {
 // (y = y(2 − x·y)); relative error drops below 1e-4.
 func FastRecipNR(x float32) float32 {
 	y := FastRecip(x)
-	if math.IsInf(float64(y), 0) {
+	// Saturated results (±0, ±Inf, NaN) are exact or unrecoverable;
+	// a Newton step on them would produce Inf·0 = NaN.
+	if y == 0 || y != y || math.IsInf(float64(y), 0) {
 		return y
 	}
 	y = y * (2 - x*y)
@@ -112,6 +137,9 @@ func FastDivNR(a, b float32) float32 { return a * FastRecipNR(b) }
 // designed to lift. Inputs far outside FP32's exponent range saturate
 // to 0 or +Inf like the hardware would.
 func ApproxExp(x float32) float32 {
+	if x != x { // NaN in, NaN out (int conversion of NaN is implementation-defined)
+		return x
+	}
 	y := float64(x) * log2E // base-2 exponent, Eq. 13
 	if y <= -126 {
 		return 0 // underflow: denormal range chucked to zero

@@ -1,0 +1,139 @@
+package fp32
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	nan32    = float32(math.NaN())
+	posInf32 = float32(math.Inf(1))
+	negInf32 = float32(math.Inf(-1))
+	// denormal is the smallest positive subnormal float32.
+	denormal = math.Float32frombits(1)
+)
+
+func isNaN32(x float32) bool  { return x != x }
+func isPosInf(x float32) bool { return math.IsInf(float64(x), 1) }
+
+// TestFastInvSqrtEdges pins the documented saturation behavior of the
+// PE inverse-square-root at every domain edge the routing procedure
+// can reach once faults are injected.
+func TestFastInvSqrtEdges(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    func(float32) float32
+	}{{"FastInvSqrt", FastInvSqrt}, {"FastInvSqrtNR", FastInvSqrtNR}} {
+		if got := fn.f(0); !isPosInf(got) {
+			t.Errorf("%s(0) = %v, want +Inf", fn.name, got)
+		}
+		if got := fn.f(-0); !isPosInf(got) {
+			t.Errorf("%s(-0) = %v, want +Inf", fn.name, got)
+		}
+		if got := fn.f(-1); !isNaN32(got) {
+			t.Errorf("%s(-1) = %v, want NaN", fn.name, got)
+		}
+		if got := fn.f(negInf32); !isNaN32(got) {
+			t.Errorf("%s(-Inf) = %v, want NaN", fn.name, got)
+		}
+		if got := fn.f(posInf32); got != 0 {
+			t.Errorf("%s(+Inf) = %v, want 0", fn.name, got)
+		}
+		if got := fn.f(nan32); !isNaN32(got) {
+			t.Errorf("%s(NaN) = %v, want NaN", fn.name, got)
+		}
+		// Denormal input: wildly inaccurate is fine, non-finite is not.
+		if got := fn.f(denormal); got <= 0 || isNaN32(got) || isPosInf(got) {
+			t.Errorf("%s(denormal) = %v, want finite positive", fn.name, got)
+		}
+	}
+}
+
+// TestFastRecipEdges pins the PE reciprocal's saturation: ±0 → +Inf,
+// ±Inf → signed zero, NaN → NaN.
+func TestFastRecipEdges(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    func(float32) float32
+	}{{"FastRecip", FastRecip}, {"FastRecipNR", FastRecipNR}} {
+		if got := fn.f(0); !isPosInf(got) {
+			t.Errorf("%s(0) = %v, want +Inf", fn.name, got)
+		}
+		if got := fn.f(posInf32); got != 0 || math.Signbit(float64(got)) {
+			t.Errorf("%s(+Inf) = %v, want +0", fn.name, got)
+		}
+		if got := fn.f(negInf32); got != 0 || !math.Signbit(float64(got)) {
+			t.Errorf("%s(-Inf) = %v, want -0", fn.name, got)
+		}
+		if got := fn.f(nan32); !isNaN32(got) {
+			t.Errorf("%s(NaN) = %v, want NaN", fn.name, got)
+		}
+		if got := fn.f(-2); got >= 0 {
+			t.Errorf("%s(-2) = %v, want negative", fn.name, got)
+		}
+		if got := fn.f(denormal); isNaN32(got) || got < 0 {
+			t.Errorf("%s(denormal) = %v, want non-negative and not NaN", fn.name, got)
+		}
+	}
+}
+
+// TestApproxExpEdges pins the exponential's saturation: underflow
+// chucks to 0, overflow to +Inf, exactly like the modeled hardware,
+// and NaN propagates instead of hitting the implementation-defined
+// float→int conversion.
+func TestApproxExpEdges(t *testing.T) {
+	if got := ApproxExp(nan32); !isNaN32(got) {
+		t.Errorf("ApproxExp(NaN) = %v, want NaN", got)
+	}
+	if got := ApproxExp(posInf32); !isPosInf(got) {
+		t.Errorf("ApproxExp(+Inf) = %v, want +Inf", got)
+	}
+	if got := ApproxExp(negInf32); got != 0 {
+		t.Errorf("ApproxExp(-Inf) = %v, want 0", got)
+	}
+	if got := ApproxExp(-200); got != 0 {
+		t.Errorf("ApproxExp(-200) = %v, want underflow to 0", got)
+	}
+	if got := ApproxExp(200); !isPosInf(got) {
+		t.Errorf("ApproxExp(200) = %v, want overflow to +Inf", got)
+	}
+	if got := ApproxExp(0); math.Abs(float64(got)-1) > 0.05 {
+		t.Errorf("ApproxExp(0) = %v, want ≈1", got)
+	}
+	// A denormal input is ≈0, so the result must be ≈1 and finite.
+	if got := ApproxExp(denormal); math.Abs(float64(got)-1) > 0.05 {
+		t.Errorf("ApproxExp(denormal) = %v, want ≈1", got)
+	}
+}
+
+// TestFastDivEdges: the composed division inherits the reciprocal's
+// saturation.
+func TestFastDivEdges(t *testing.T) {
+	if got := FastDiv(1, posInf32); got != 0 {
+		t.Errorf("FastDiv(1, +Inf) = %v, want 0", got)
+	}
+	if got := FastDiv(1, 0); !isPosInf(got) {
+		t.Errorf("FastDiv(1, 0) = %v, want +Inf", got)
+	}
+	if got := FastDivNR(1, nan32); !isNaN32(got) {
+		t.Errorf("FastDivNR(1, NaN) = %v, want NaN", got)
+	}
+}
+
+// TestFiniteInputsUnchangedByEdgeGuards locks the bit-exact behavior
+// of the hot path: the added non-finite guards must not perturb any
+// normal-range result (the serving stack's "injectors disabled ⇒
+// bit-identical" guarantee depends on this).
+func TestFiniteInputsUnchangedByEdgeGuards(t *testing.T) {
+	inputs := []float32{1e-30, 0.001, 0.5, 1, 1.5, 2, 3.75, 100, 6.3e7}
+	for _, x := range inputs {
+		wantInv := math.Float32frombits(0x5f3759df - (math.Float32bits(x) >> 1))
+		if got := FastInvSqrt(x); got != wantInv {
+			t.Errorf("FastInvSqrt(%g) = %v, want bit-exact %v", x, got, wantInv)
+		}
+		wantRec := math.Float32frombits(0x7EF311C3 - math.Float32bits(x))
+		if got := FastRecip(x); got != wantRec {
+			t.Errorf("FastRecip(%g) = %v, want bit-exact %v", x, got, wantRec)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -14,6 +15,19 @@ var (
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrClosed means the batcher is shutting down; mapped to 503.
 	ErrClosed = errors.New("serve: server shutting down")
+	// ErrBatchPanic means the inference call for this request's batch
+	// panicked; the batch was isolated (the server keeps serving) and
+	// its requests are failed with 500.
+	ErrBatchPanic = errors.New("serve: inference panicked")
+	// ErrBatchTimeout means the watchdog failed this request's batch
+	// after Config.BatchDeadline, so a stalled forward pass cannot
+	// wedge the queue; mapped to 500.
+	ErrBatchTimeout = errors.New("serve: batch exceeded deadline")
+	// ErrNonFinite means the model produced NaN/Inf for this sample
+	// even after the exact-math routing fallback (see capsnet's
+	// finite-value guard); mapped to 500 rather than emitting NaN
+	// probabilities.
+	ErrNonFinite = errors.New("serve: non-finite model output")
 )
 
 // Prediction is the per-request inference result.
@@ -25,6 +39,10 @@ type Prediction struct {
 	// Poses holds the final capsule pose vector per class
 	// (Classes×DigitDim).
 	Poses [][]float32
+	// Err, when non-nil, fails this request alone (its batchmates
+	// still succeed) — e.g. ErrNonFinite for a sample the routing
+	// guard could not recover.
+	Err error
 }
 
 // RunFunc executes one assembled micro-batch and returns one
@@ -69,6 +87,9 @@ type Batcher struct {
 	// timer creates the batch-fill deadline; tests inject a manual
 	// channel here for deterministic timer control.
 	timer func(time.Duration) <-chan time.Time
+	// wdTimer creates the per-batch watchdog deadline, separately
+	// injectable so fill-timer tests stay unaffected.
+	wdTimer func(time.Duration) <-chan time.Time
 
 	mu     sync.RWMutex
 	closed bool
@@ -90,6 +111,9 @@ func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Bat
 		q:                 newQueue(cfg.QueueSize),
 		runCh:             make(chan []*request, 1),
 		timer: func(d time.Duration) <-chan time.Time {
+			return time.After(d)
+		},
+		wdTimer: func(d time.Duration) <-chan time.Time {
 			return time.After(d)
 		},
 		stop:           make(chan struct{}),
@@ -194,9 +218,26 @@ func (b *Batcher) runLoop() {
 	}
 }
 
+// runResult carries one batch execution's outcome from the inference
+// goroutine back to the runner.
+type runResult struct {
+	preds    []Prediction
+	panicVal any
+	panicked bool
+}
+
 // runBatch drops requests whose context already expired, executes the
 // rest as one forward call, and completes every request's done
 // channel.
+//
+// The forward call runs on a child goroutine so the runner can
+// isolate two failure modes instead of letting them take the server
+// down: a panic anywhere under RunFunc (including re-panicked
+// parallelFor worker panics) fails only this batch's requests with
+// ErrBatchPanic, and a stall beyond Config.BatchDeadline is failed by
+// the watchdog with ErrBatchTimeout so the queue keeps draining. An
+// abandoned (timed-out) inference goroutine parks its late result in
+// the buffered channel and is garbage collected.
 func (b *Batcher) runBatch(batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
@@ -213,12 +254,48 @@ func (b *Batcher) runBatch(batch []*request) {
 	for i, r := range live {
 		images[i] = r.img
 	}
-	preds := b.run(images)
-	if b.metrics != nil {
-		b.metrics.ObserveBatch(len(live), b.routingIterations)
+	resCh := make(chan runResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resCh <- runResult{panicked: true, panicVal: p}
+			}
+		}()
+		if hook := b.cfg.PreRunHook; hook != nil {
+			hook(images)
+		}
+		resCh <- runResult{preds: b.run(images)}
+	}()
+	var deadline <-chan time.Time
+	if b.cfg.BatchDeadline > 0 {
+		deadline = b.wdTimer(b.cfg.BatchDeadline)
 	}
-	for i, r := range live {
-		r.done <- outcome{pred: preds[i], batch: len(live)}
+	select {
+	case res := <-resCh:
+		if res.panicked {
+			if b.metrics != nil {
+				b.metrics.IncPanicRecovered()
+			}
+			err := fmt.Errorf("%w: %v", ErrBatchPanic, res.panicVal)
+			for _, r := range live {
+				r.done <- outcome{err: err}
+			}
+			return
+		}
+		if b.metrics != nil {
+			b.metrics.ObserveBatch(len(live), b.routingIterations)
+		}
+		for i, r := range live {
+			r.done <- outcome{pred: res.preds[i], batch: len(live), err: res.preds[i].Err}
+		}
+	case <-deadline:
+		if b.metrics != nil {
+			b.metrics.IncWatchdogBatch()
+		}
+		err := fmt.Errorf("%w (%v)", ErrBatchTimeout, b.cfg.BatchDeadline)
+		for _, r := range live {
+			r.done <- outcome{err: err}
+		}
 	}
 }
 

@@ -42,6 +42,18 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: how long Close waits for
 	// in-flight batches to finish. Default 10s.
 	DrainTimeout time.Duration
+	// BatchDeadline is the watchdog bound on one batch's inference: a
+	// batch still running after this long is failed with
+	// ErrBatchTimeout (HTTP 500) so a stalled forward pass cannot
+	// wedge the queue behind it. Default 30s.
+	BatchDeadline time.Duration
+	// PreRunHook, when non-nil, is called by the batch runner with
+	// the assembled batch images immediately before inference, on the
+	// same goroutine the forward pass uses — so a hook that panics or
+	// stalls exercises exactly the recovery and watchdog paths.
+	// Fault-injection campaigns (internal/fault) install corruption,
+	// panic, and stall hooks here; nil (the default) costs nothing.
+	PreRunHook func(images [][]float32)
 }
 
 // Defaults for the zero Config.
@@ -51,6 +63,7 @@ const (
 	DefaultQueueSize      = 64
 	DefaultRequestTimeout = 5 * time.Second
 	DefaultDrainTimeout   = 10 * time.Second
+	DefaultBatchDeadline  = 30 * time.Second
 )
 
 // withDefaults returns c with every zero field replaced by its
@@ -70,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.BatchDeadline == 0 {
+		c.BatchDeadline = DefaultBatchDeadline
 	}
 	return c
 }
@@ -91,6 +107,9 @@ func (c Config) Validate() error {
 	}
 	if c.DrainTimeout <= 0 {
 		return fmt.Errorf("serve: DrainTimeout %v, need > 0", c.DrainTimeout)
+	}
+	if c.BatchDeadline <= 0 {
+		return fmt.Errorf("serve: BatchDeadline %v, need > 0", c.BatchDeadline)
 	}
 	return nil
 }

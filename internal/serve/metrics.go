@@ -113,6 +113,13 @@ type Metrics struct {
 	batches      atomic.Uint64
 	routingIters atomic.Uint64
 
+	// Robustness counters (see the README's "Robustness & fault
+	// injection" section for the degradation ladder they instrument).
+	panicsRecovered  atomic.Uint64
+	watchdogBatches  atomic.Uint64
+	routingFallbacks atomic.Uint64
+	checkpointRejts  atomic.Uint64
+
 	// QueueDepth is sampled at scrape time from the admission queue.
 	QueueDepth func() int
 }
@@ -157,6 +164,34 @@ func (m *Metrics) ObserveBatch(size, routingIterations int) {
 // Batches returns the number of launched batches.
 func (m *Metrics) Batches() uint64 { return m.batches.Load() }
 
+// IncPanicRecovered counts one batch whose inference panicked and was
+// isolated by the runner instead of crashing the process.
+func (m *Metrics) IncPanicRecovered() { m.panicsRecovered.Add(1) }
+
+// PanicsRecovered returns the recovered-panic count.
+func (m *Metrics) PanicsRecovered() uint64 { return m.panicsRecovered.Load() }
+
+// IncWatchdogBatch counts one batch failed by the BatchDeadline
+// watchdog.
+func (m *Metrics) IncWatchdogBatch() { m.watchdogBatches.Add(1) }
+
+// WatchdogBatches returns the watchdog-failed batch count.
+func (m *Metrics) WatchdogBatches() uint64 { return m.watchdogBatches.Load() }
+
+// AddRoutingFallbacks counts n samples whose routing was re-run with
+// exact math after the approximate path produced non-finite values.
+func (m *Metrics) AddRoutingFallbacks(n int) { m.routingFallbacks.Add(uint64(n)) }
+
+// RoutingFallbacks returns the exact-math routing fallback count.
+func (m *Metrics) RoutingFallbacks() uint64 { return m.routingFallbacks.Load() }
+
+// IncCheckpointRejection counts one checkpoint that failed structural
+// verification (bad magic, truncation, CRC mismatch) at load time.
+func (m *Metrics) IncCheckpointRejection() { m.checkpointRejts.Add(1) }
+
+// CheckpointRejections returns the rejected-checkpoint count.
+func (m *Metrics) CheckpointRejections() uint64 { return m.checkpointRejts.Load() }
+
 // WriteText emits the full text exposition.
 func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "capsnet_requests_total %d\n", m.requests.Load())
@@ -171,6 +206,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "capsnet_queue_depth %d\n", depth)
 	fmt.Fprintf(w, "capsnet_batches_total %d\n", m.batches.Load())
 	fmt.Fprintf(w, "capsnet_routing_iterations_total %d\n", m.routingIters.Load())
+	fmt.Fprintf(w, "capsnet_panics_recovered_total %d\n", m.panicsRecovered.Load())
+	fmt.Fprintf(w, "capsnet_watchdog_failed_batches_total %d\n", m.watchdogBatches.Load())
+	fmt.Fprintf(w, "capsnet_routing_exact_fallbacks_total %d\n", m.routingFallbacks.Load())
+	fmt.Fprintf(w, "capsnet_checkpoint_load_rejections_total %d\n", m.checkpointRejts.Load())
 	m.Latency.writeText(w, "capsnet_request_latency_seconds")
 	m.BatchSize.writeText(w, "capsnet_batch_size")
 }

@@ -87,3 +87,46 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestRobustnessCounters exercises the degradation-ladder counters and
+// their exposition lines: recovered panics, watchdog-failed batches,
+// exact-math routing fallbacks, and rejected checkpoints.
+func TestRobustnessCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.PanicsRecovered()+m.WatchdogBatches()+m.RoutingFallbacks()+m.CheckpointRejections() != 0 {
+		t.Fatal("robustness counters must start at zero")
+	}
+	m.IncPanicRecovered()
+	m.IncPanicRecovered()
+	m.IncWatchdogBatch()
+	m.AddRoutingFallbacks(3)
+	m.AddRoutingFallbacks(1)
+	m.IncCheckpointRejection()
+
+	if got := m.PanicsRecovered(); got != 2 {
+		t.Errorf("PanicsRecovered %d, want 2", got)
+	}
+	if got := m.WatchdogBatches(); got != 1 {
+		t.Errorf("WatchdogBatches %d, want 1", got)
+	}
+	if got := m.RoutingFallbacks(); got != 4 {
+		t.Errorf("RoutingFallbacks %d, want 4", got)
+	}
+	if got := m.CheckpointRejections(); got != 1 {
+		t.Errorf("CheckpointRejections %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	m.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"capsnet_panics_recovered_total 2",
+		"capsnet_watchdog_failed_batches_total 1",
+		"capsnet_routing_exact_fallbacks_total 4",
+		"capsnet_checkpoint_load_rejections_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -62,11 +63,21 @@ type Server struct {
 // capsnet.ExactMath{} for host numerics, capsnet.NewPEMath() for the
 // PIM processing-element approximations.
 func New(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg Config) (*Server, error) {
+	return NewWithMetrics(network, mathOps, cfg, nil)
+}
+
+// NewWithMetrics is New with an externally created metric set, so the
+// process can count events that happen before the server exists (e.g.
+// checkpoint load rejections via LoadCheckpoint) on the same /metrics
+// endpoint. A nil m allocates a fresh set.
+func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg Config, m *Metrics) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := NewMetrics()
+	if m == nil {
+		m = NewMetrics()
+	}
 	run := func(images [][]float32) []Prediction {
 		out := network.ForwardBatch(images, mathOps)
 		nc, dd := network.Config.Classes, network.Config.DigitDim
@@ -82,6 +93,15 @@ func New(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg Config) (*Se
 				poses[j] = pose
 			}
 			preds[k] = Prediction{Class: classes[k], Probs: probs, Poses: poses}
+		}
+		// Degradation ladder: samples the routing guard recovered with
+		// exact math are counted; samples still non-finite fail alone
+		// with a typed error instead of emitting NaN JSON.
+		if n := len(out.ExactFallbacks); n > 0 {
+			m.AddRoutingFallbacks(n)
+		}
+		for _, k := range out.NonFinite {
+			preds[k] = Prediction{Err: ErrNonFinite}
 		}
 		return preds
 	}
@@ -163,6 +183,13 @@ func (s *Server) classify(r *http.Request) (int, any) {
 				len(req.Image), s.imgLen, s.net.Config.InputChannels, s.net.Config.InputH, s.net.Config.InputW),
 		}
 	}
+	for i, v := range req.Image {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("image[%d] is %v; pixels must be finite", i, v),
+			}
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	pred, batch, err := s.batcher.Submit(ctx, req.Image)
@@ -175,6 +202,12 @@ func (s *Server) classify(r *http.Request) (int, any) {
 		return http.StatusServiceUnavailable, errorBody{Error: "server shutting down"}
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
+	case errors.Is(err, ErrNonFinite):
+		return http.StatusInternalServerError, errorBody{Error: "model produced non-finite output for this input (exact-math fallback did not recover it)"}
+	case errors.Is(err, ErrBatchPanic):
+		return http.StatusInternalServerError, errorBody{Error: "inference failed for this batch; the server recovered and keeps serving"}
+	case errors.Is(err, ErrBatchTimeout):
+		return http.StatusInternalServerError, errorBody{Error: "inference exceeded the batch deadline and was abandoned"}
 	default:
 		return http.StatusInternalServerError, errorBody{Error: err.Error()}
 	}
