@@ -8,14 +8,24 @@
 // Usage:
 //
 //	capsnet-infer [-classes 5] [-iters 3] [-epochs 25] [-samples 30]
+//	              [-trace-out eval.json]
+//
+// With -trace-out, the exact-math evaluation pass is stage-timed (conv,
+// PrimaryCaps, prediction vectors, each routing iteration, ...) and the
+// timeline written as Chrome trace-event JSON — load it in Perfetto to
+// see the inference Gantt chart the paper's Figure 3 breakdown
+// corresponds to.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"pimcapsnet/internal/capsnet"
 	"pimcapsnet/internal/dataset"
+	"pimcapsnet/internal/obs"
 	"pimcapsnet/internal/tensor"
 )
 
@@ -26,6 +36,7 @@ func main() {
 	perClass := flag.Int("samples", 30, "training samples per class")
 	savePath := flag.String("save", "", "write the trained network checkpoint here")
 	loadPath := flag.String("load", "", "load a checkpoint instead of training")
+	traceOut := flag.String("trace-out", "", "write a stage-timed Chrome trace of the exact-math evaluation here")
 	flag.Parse()
 
 	spec := dataset.Tiny(*classes)
@@ -81,8 +92,26 @@ func main() {
 	}
 
 	fmt.Println()
+	// With -trace-out, stage-time the exact-math evaluation: all
+	// forward-pass stages land on one timeline written as Chrome trace
+	// JSON afterwards.
+	var evalTrace *obs.Trace
+	if *traceOut != "" {
+		evalTrace = &obs.Trace{ID: "eval-exact", Start: time.Now()}
+		rec := obs.NewStageRecorder(nil, nil)
+		rec.SetCurrent(evalTrace)
+		net.Stages = rec
+	}
 	fmt.Printf("test accuracy, exact FP32 routing:        %.2f%%\n",
 		100*capsnet.Evaluate(net, test.Images, test.Labels, capsnet.ExactMath{}))
+	if evalTrace != nil {
+		net.Stages = nil // approx-math passes below stay untimed
+		if err := writeTrace(*traceOut, evalTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote evaluation stage trace to %s (%d spans)\n", *traceOut, len(evalTrace.Spans()))
+	}
 	fmt.Printf("test accuracy, PE approx (no recovery):   %.2f%%\n",
 		100*capsnet.Evaluate(net, test.Images, test.Labels, capsnet.NewPEMathNoRecovery()))
 	fmt.Printf("test accuracy, PE approx (with recovery): %.2f%%\n",
@@ -96,4 +125,17 @@ func main() {
 		}
 		fmt.Printf("saved checkpoint to %s\n", *savePath)
 	}
+}
+
+// writeTrace exports one stage timeline as Chrome trace-event JSON.
+func writeTrace(path string, t *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, []*obs.Trace{t}, t.Start); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,16 +7,29 @@
 //
 // Endpoints:
 //
-//	POST /v1/classify  {"image":[...C·H·W floats...]} → class, probs, poses
-//	GET  /v1/model     input geometry and routing config
-//	GET  /healthz      process liveness (always 200)
-//	GET  /readyz       traffic readiness (503 while draining)
-//	GET  /metrics      text exposition: request/latency/batch histograms
+//	POST /v1/classify           {"image":[...C·H·W floats...]} → class, probs, poses
+//	GET  /v1/model              input geometry and routing config
+//	GET  /healthz               process liveness (always 200)
+//	GET  /readyz                traffic readiness (503 while draining)
+//	GET  /metrics               text exposition: request/latency/batch/stage histograms,
+//	                            queue-wait and routing-iteration histograms, runtime gauges
+//	GET  /debug/requests/trace  sampled request timelines as Chrome trace JSON (?last=N)
+//	GET  /debug/pprof/          Go profiling (profile, heap, goroutine, trace, ...)
+//
+// Every response carries an X-Trace-Id header; with -log-format json
+// each request logs one structured record carrying the same ID, and
+// with -trace-sample > 0 sampled requests additionally record a full
+// span timeline (admission → queue wait → batch assembly → conv →
+// primary caps → prediction vectors → each routing iteration → encode)
+// retrievable from /debug/requests/trace and written to -trace-out at
+// shutdown.
 //
 // Usage:
 //
 //	capsnet-serve -checkpoint net.gob [-addr :8080] [-max-batch 8]
 //	              [-max-delay 2ms] [-queue 64] [-timeout 5s] [-math exact]
+//	              [-log-level info] [-log-format text|json]
+//	              [-trace-sample 0.1] [-trace-buffer 256] [-trace-out run.json]
 //	capsnet-serve -demo-classes 5    # seeded untrained demo network
 //
 // SIGTERM/SIGINT trigger graceful shutdown: readiness flips to 503,
@@ -28,13 +41,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/obs"
 	"pimcapsnet/internal/serve"
 )
 
@@ -49,47 +64,79 @@ func main() {
 	drain := flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain bound")
 	batchDeadline := flag.Duration("batch-deadline", serve.DefaultBatchDeadline, "watchdog bound on one batch's inference (stalled batches are failed, not queued behind)")
 	mathName := flag.String("math", "exact", "routing numerics: exact | pe | pe-norecovery")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to record full span timelines for (0 disables, 1 records all)")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "completed request traces retained for /debug/requests/trace")
+	traceOut := flag.String("trace-out", "", "write the retained request traces as Chrome trace JSON here at shutdown")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capsnet-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("error", err.Error()))
+		os.Exit(1)
+	}
 
 	// Metrics exist before the model loads so checkpoint rejections
 	// land on the same /metrics endpoint the server exposes.
 	metrics := serve.NewMetrics()
-	net, err := loadNetwork(*checkpoint, *demoClasses, metrics)
+	network, err := loadNetwork(*checkpoint, *demoClasses, metrics)
 	if err != nil {
-		log.Fatalf("capsnet-serve: %v", err)
+		fatal("loading network", err)
 	}
 	mathOps, err := routingMath(*mathName)
 	if err != nil {
-		log.Fatalf("capsnet-serve: %v", err)
+		fatal("selecting routing math", err)
 	}
 
-	srv, err := serve.NewWithMetrics(net, mathOps, serve.Config{
+	srv, err := serve.NewWithMetrics(network, mathOps, serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxDelay:       *maxDelay,
 		QueueSize:      *queueSize,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		BatchDeadline:  *batchDeadline,
+		TraceSample:    *traceSample,
+		TraceBuffer:    *traceBuffer,
+		Logger:         logger,
 	}, metrics)
 	if err != nil {
-		log.Fatalf("capsnet-serve: %v", err)
+		fatal("building server", err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen explicitly (rather than ListenAndServe) so the bound
+	// address is known before serving starts — with -addr :0 the chosen
+	// port is in the startup log line, which the e2e smoke test parses.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listening", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	cfg := net.Config
-	log.Printf("serving %dx%dx%d → %d classes (%s routing, %d iterations) on %s, max-batch %d, max-delay %v",
-		cfg.InputChannels, cfg.InputH, cfg.InputW, cfg.Classes, net.Digit.Mode, cfg.RoutingIterations,
-		*addr, *maxBatch, *maxDelay)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	cfg := network.Config
+	logger.Info("serving",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("input", fmt.Sprintf("%dx%dx%d", cfg.InputChannels, cfg.InputH, cfg.InputW)),
+		slog.Int("classes", cfg.Classes),
+		slog.String("routing_mode", network.Digit.Mode.String()),
+		slog.Int("routing_iterations", cfg.RoutingIterations),
+		slog.Int("max_batch", *maxBatch),
+		slog.Duration("max_delay", *maxDelay),
+		slog.Float64("trace_sample", *traceSample),
+	)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %v, draining...", s)
+		logger.Info("draining", slog.String("signal", s.String()))
 	case err := <-errCh:
-		log.Fatalf("capsnet-serve: %v", err)
+		fatal("http server", err)
 	}
 
 	// Graceful shutdown: stop advertising readiness, stop accepting
@@ -99,12 +146,52 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("batcher drain: %v", err)
+		logger.Warn("batcher drain", slog.String("error", err.Error()))
 	}
-	log.Printf("drained, exiting")
+	if *traceOut != "" {
+		if err := exportTraces(srv, *traceBuffer, *traceOut); err != nil {
+			logger.Warn("writing trace file", slog.String("error", err.Error()))
+		} else {
+			logger.Info("wrote request traces", slog.String("path", *traceOut),
+				slog.Uint64("completed_traces", srv.Tracer().Completed()))
+		}
+	}
+	logger.Info("drained, exiting")
+}
+
+// buildLogger constructs the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// exportTraces writes the retained request timelines as a Chrome
+// trace-event JSON file (load it in Perfetto or chrome://tracing).
+func exportTraces(srv *serve.Server, bufferSize int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := srv.Tracer()
+	if err := obs.WriteChromeTrace(f, tr.Last(bufferSize), tr.Epoch()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadNetwork opens and verifies the checkpoint (corrupt files are

@@ -18,6 +18,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -124,6 +127,99 @@ func main() {
 			strings.HasPrefix(line, "capsnet_routing_iterations_total") {
 			fmt.Println("  " + line)
 		}
+	}
+	printStageBreakdown(string(text))
+}
+
+// stageStat is one capsnet_stage_seconds family parsed from the
+// exposition.
+type stageStat struct {
+	name       string
+	count      uint64
+	sum        float64
+	p50, p99   float64
+	totalShare float64
+}
+
+// printStageBreakdown renders the per-stage latency table from the
+// capsnet_stage_seconds histograms — where a served request's time
+// actually goes, the production counterpart of the paper's Figure 3
+// execution-time breakdown.
+func printStageBreakdown(metrics string) {
+	stages := parseStageStats(metrics)
+	if len(stages) == 0 {
+		fmt.Println("\nno stage histograms yet (is the server older than the observability layer?)")
+		return
+	}
+	var total float64
+	for _, s := range stages {
+		total += s.sum
+	}
+	for i := range stages {
+		if total > 0 {
+			stages[i].totalShare = 100 * stages[i].sum / total
+		}
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].sum > stages[j].sum })
+
+	fmt.Println("\nper-stage latency breakdown (capsnet_stage_seconds):")
+	fmt.Printf("  %-24s %8s %12s %10s %10s %7s\n", "stage", "count", "total", "p50", "p99", "share")
+	for _, s := range stages {
+		fmt.Printf("  %-24s %8d %12s %10s %10s %6.1f%%\n",
+			s.name, s.count, fmtSeconds(s.sum), fmtSeconds(s.p50), fmtSeconds(s.p99), s.totalShare)
+	}
+}
+
+// parseStageStats extracts count/sum/quantiles for every stage label
+// from the Prometheus text exposition.
+func parseStageStats(metrics string) []stageStat {
+	byStage := make(map[string]*stageStat)
+	get := func(stage string) *stageStat {
+		s, ok := byStage[stage]
+		if !ok {
+			s = &stageStat{name: stage}
+			byStage[stage] = s
+		}
+		return s
+	}
+	stageRe := regexp.MustCompile(`^capsnet_stage_seconds(_sum|_count)?\{stage="([^"]+)"(?:,quantile="([^"]+)")?\} (\S+)$`)
+	for _, line := range strings.Split(metrics, "\n") {
+		m := stageRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			continue
+		}
+		s := get(m[2])
+		switch {
+		case m[1] == "_count":
+			s.count = uint64(v)
+		case m[1] == "_sum":
+			s.sum = v
+		case m[3] == "0.5":
+			s.p50 = v
+		case m[3] == "0.99":
+			s.p99 = v
+		}
+	}
+	out := make([]stageStat, 0, len(byStage))
+	for _, s := range byStage {
+		out = append(out, *s)
+	}
+	return out
+}
+
+// fmtSeconds renders a duration in the most readable unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
 	}
 }
 

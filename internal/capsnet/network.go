@@ -106,6 +106,19 @@ type Network struct {
 	// default — costs one pointer check per forward pass.
 	RoutingInputHook func(data []float32)
 
+	// Stages, when non-nil, observes every stage boundary of a forward
+	// pass (conv, primary caps, prediction vectors, each routing
+	// iteration and its sub-phases, the finite guard) — the injection
+	// point the serving layer's per-stage histograms and request
+	// traces hang off without this package importing the observability
+	// layer. nil — the default — costs one pointer check per stage
+	// site, and the forward pass takes an identical code path except
+	// that conv and primary-caps work is timed as two batch-wide
+	// stages instead of fused per sample (results are bit-identical
+	// either way: per-sample work is independent and ordered the
+	// same). Timed results are bit-identical to untimed ones.
+	Stages StageTimer
+
 	convH, convW int // conv output spatial size
 
 	// fallbacks counts forward passes' per-sample exact-math routing
@@ -186,18 +199,45 @@ func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
 	numL := n.NumPrimaryCaps()
 	u := tensor.New(nb, numL, n.Config.PrimaryDim)
 	imgLen := n.Config.InputChannels * n.Config.InputH * n.Config.InputW
-	parallelFor(nb, func(k int) {
-		img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
-		feat := n.Conv.Forward(img)
-		caps := n.Primary.Forward(feat) // numL×PrimaryDim
-		copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
-	})
+	st := n.Stages
+	if st == nil {
+		// Untimed fast path: conv and primary caps fused per sample, no
+		// batch-wide feature buffer.
+		parallelFor(nb, func(k int) {
+			img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
+			feat := n.Conv.Forward(img)
+			caps := n.Primary.Forward(feat) // numL×PrimaryDim
+			copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
+		})
+	} else {
+		// Timed path: the same per-sample computations, split into two
+		// batch-wide stages so conv and primary-caps time can be
+		// attributed separately. Each sample's work and accumulation
+		// order are unchanged, so outputs stay bit-identical to the
+		// fused loop (TestStageTimerPreservesOutputs holds this).
+		feats := make([]*tensor.Tensor, nb)
+		end := beginStage(st, StageConv, -1)
+		parallelFor(nb, func(k int) {
+			img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
+			feats[k] = n.Conv.Forward(img)
+		})
+		endStage(end)
+		end = beginStage(st, StagePrimaryCaps, -1)
+		parallelFor(nb, func(k int) {
+			caps := n.Primary.Forward(feats[k]) // numL×PrimaryDim
+			copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
+		})
+		endStage(end)
+	}
 	if hook := n.RoutingInputHook; hook != nil {
 		hook(u.Data())
 	}
-	res := n.Digit.Forward(u, mathOps)
+	res := n.Digit.ForwardTimed(u, mathOps, st)
 	out := &Output{Capsules: res.V, Routing: res, Primary: u}
+	end := beginStage(st, StageFiniteGuard, -1)
 	n.finiteGuard(u, out, mathOps)
+	endStage(end)
+	end = beginStage(st, StageLengths, -1)
 	lengths := tensor.New(nb, n.Config.Classes)
 	for k := 0; k < nb; k++ {
 		for j := 0; j < n.Config.Classes; j++ {
@@ -205,6 +245,7 @@ func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
 			lengths.Data()[k*n.Config.Classes+j] = tensor.Norm(res.V.Data()[off : off+n.Config.DigitDim])
 		}
 	}
+	endStage(end)
 	out.Lengths = lengths
 	return out
 }

@@ -71,6 +71,16 @@ func DynamicRoutingShared(preds *tensor.Tensor, iterations int, mathOps RoutingM
 // after the final iteration (it would only feed a next iteration that
 // never runs), matching reference implementations.
 func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMath, mode RoutingMode) RoutingResult {
+	return DynamicRoutingTimed(preds, iterations, mathOps, mode, nil)
+}
+
+// DynamicRoutingTimed is DynamicRoutingMode with per-stage
+// observation: each iteration is bracketed as StageRoutingIteration
+// (with its index) and its softmax, aggregate+squash, and agreement
+// phases reported as nested sub-stages — the production counterpart
+// of the per-phase timelines the HMC co-simulator emits. A nil timer
+// is the untimed fast path; results are identical either way.
+func DynamicRoutingTimed(preds *tensor.Tensor, iterations int, mathOps RoutingMath, mode RoutingMode, timer StageTimer) RoutingResult {
 	if preds.Rank() != 4 {
 		panic(fmt.Sprintf("capsnet: DynamicRouting wants B×L×H×CH predictions, got %v", preds.Shape()))
 	}
@@ -89,7 +99,10 @@ func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMat
 	sharedB := bd[:nl*nh]
 
 	for it := 0; it < iterations; it++ {
+		iterEnd := beginStage(timer, StageRoutingIteration, it)
+
 		// Step 4/6: routing coefficients from agreement logits.
+		end := beginStage(timer, StageRoutingSoftmax, it)
 		if mode == RouteBatchShared {
 			softmaxRows(mathOps, cd[:nl*nh], sharedB, nl, nh)
 			for k := 1; k < nb; k++ {
@@ -100,11 +113,13 @@ func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMat
 				softmaxRows(mathOps, cd[k*nl*nh:(k+1)*nl*nh], bd[k*nl*nh:(k+1)*nl*nh], nl, nh)
 			}
 		}
+		endStage(end)
 
 		// Step 5 (Eq. 2) + Step 6 (Eq. 3): weighted aggregation over L
 		// capsules and squash, parallel over the batch (each k writes
 		// disjoint s/v slices, so results are identical to the serial
 		// loop).
+		end = beginStage(timer, StageRoutingAggregate, it)
 		for i := range sd {
 			sd[i] = 0
 		}
@@ -131,8 +146,10 @@ func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMat
 				squashInto(mathOps, vd[off:off+ch], sd[off:off+ch])
 			}
 		})
+		endStage(end)
 
 		if it == iterations-1 {
+			endStage(iterEnd)
 			break
 		}
 
@@ -140,6 +157,7 @@ func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMat
 		// writes disjoint logit rows and parallelizes; the paper's
 		// batch-shared Σ_k accumulates into one matrix and stays
 		// serial for determinism.
+		end = beginStage(timer, StageRoutingAgreement, it)
 		agree := func(k int) {
 			base := k * nl * nh * ch
 			vbase := k * nh * ch
@@ -167,6 +185,8 @@ func DynamicRoutingMode(preds *tensor.Tensor, iterations int, mathOps RoutingMat
 		} else {
 			parallelFor(nb, agree)
 		}
+		endStage(end)
+		endStage(iterEnd)
 	}
 	if mode == RouteBatchShared {
 		for k := 1; k < nb; k++ {

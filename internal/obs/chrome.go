@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"pimcapsnet/internal/trace"
+)
+
+// chromePID is the synthetic "process" all serving spans render
+// under; each request gets its own track (tid), so Perfetto shows one
+// Gantt row per request exactly like the simulator's per-vault rows.
+const chromePID = 1
+
+// WriteChromeTrace renders completed request traces as Chrome
+// trace-event JSON (load it in Perfetto or chrome://tracing).
+// Timestamps are microseconds since epoch — pass the tracer's Epoch
+// so concurrent requests line up on one timeline. Per request it
+// emits one complete ("X") event per span, an instant ("i") marker at
+// completion, and a running counter ("C") of completed requests.
+func WriteChromeTrace(w io.Writer, traces []*Trace, epoch time.Time) error {
+	log := BuildChromeLog(traces, epoch)
+	return log.WriteJSON(w)
+}
+
+// BuildChromeLog is WriteChromeTrace without the serialization: it
+// returns the trace.Log so callers can merge in events of their own
+// (e.g. capsnet-serve's whole-run -trace-out file).
+func BuildChromeLog(traces []*Trace, epoch time.Time) *trace.Log {
+	log := &trace.Log{}
+	ts := func(t time.Time) float64 {
+		return float64(t.Sub(epoch).Nanoseconds()) / 1e3
+	}
+	for i, t := range traces {
+		if t == nil {
+			continue
+		}
+		tid := i + 1
+		for _, s := range t.Spans() {
+			args := map[string]string{"trace_id": t.ID}
+			if s.Iter >= 0 {
+				args["iteration"] = strconv.Itoa(s.Iter)
+			}
+			dur := ts(s.End) - ts(s.Start)
+			if dur < 0 {
+				dur = 0
+			}
+			log.Complete(s.Name, "serve", chromePID, tid, ts(s.Start), dur, args)
+		}
+		end := t.EndTime()
+		if !end.IsZero() {
+			log.Instant("request_done", "serve", chromePID, tid, ts(end),
+				map[string]string{"trace_id": t.ID})
+			log.Counter("completed_requests", chromePID, ts(end),
+				map[string]float64{"requests": float64(i + 1)})
+		}
+	}
+	return log
+}

@@ -1,0 +1,153 @@
+// Package obs is the observability layer for the serving and
+// inference stack: request-scoped trace IDs, lightweight spans
+// covering the serving pipeline (admission → queue wait → batch
+// assembly → forward → encode) and the forward pass's internal stages
+// (conv, PrimaryCaps, prediction vectors, each dynamic-routing
+// iteration), a ring buffer of completed request traces exportable as
+// Chrome trace-event JSON (Perfetto-loadable, like the simulator's
+// co-sim timelines in internal/trace), and runtime/metrics-backed
+// process gauges.
+//
+// The paper's whole argument rests on knowing where time goes — its
+// Figure 3/4 characterization attributes ≈74.6% of CapsNet inference
+// to the routing procedure before proposing the PIM offload. This
+// package gives the production Go stack the same visibility: a served
+// request renders as a Gantt chart whose routing-iteration spans can
+// be compared directly against the paper's breakdown.
+//
+// Design constraints:
+//
+//   - Standard library only.
+//   - Near-zero overhead when disabled: an unsampled request carries a
+//     nil *Trace, and every Trace method is nil-receiver safe, so the
+//     hot path pays one pointer check per span site.
+//   - Deterministic under test: the clock, the trace-ID source, and
+//     the sampling decision (a counter, not a PRNG) are all
+//     injectable.
+//   - internal/capsnet never imports this package; it exposes a
+//     StageTimer hook interface that StageRecorder satisfies
+//     structurally.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Clock is the time source; injectable for deterministic tests.
+type Clock func() time.Time
+
+// Span is one timed operation inside a request or batch: a stage of
+// the serving pipeline or of the forward pass.
+type Span struct {
+	// Name is the stage name ("queue_wait", "conv",
+	// "routing_iteration", ...). Serving-pipeline names live in
+	// internal/serve; forward-pass names are capsnet's Stage*
+	// constants.
+	Name string
+	// Iter is the dynamic-routing iteration index, or -1 when the
+	// stage is not per-iteration.
+	Iter int
+	// Start and End bound the stage.
+	Start, End time.Time
+}
+
+// Trace collects the spans of one request (or, transiently, of one
+// micro-batch whose spans are then copied into each rider's request
+// trace). All methods are safe for concurrent use and safe on a nil
+// receiver, so unsampled requests cost one nil check per span site.
+type Trace struct {
+	// ID is the request's trace ID (16 lowercase hex chars), the same
+	// value returned in the X-Trace-Id response header and stamped on
+	// the request's log lines.
+	ID string
+	// Start is when the request was admitted.
+	Start time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	spans []Span
+}
+
+// Add records one completed span. No-op on a nil receiver.
+func (t *Trace) Add(name string, iter int, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Iter: iter, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// AddSpans bulk-copies spans (a batch trace's stage spans) into t.
+// No-op on a nil receiver.
+func (t *Trace) AddSpans(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in insertion order.
+// Nil on a nil receiver.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// setEnd stamps the request's completion time.
+func (t *Trace) setEnd(end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.end = end
+	t.mu.Unlock()
+}
+
+// EndTime returns the completion stamp set by Tracer.Finish (zero
+// until then, or on a nil receiver).
+func (t *Trace) EndTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.end
+}
+
+// NewID returns a fresh 64-bit trace ID as 16 lowercase hex chars,
+// drawn from crypto/rand (falling back to a process-local counter if
+// the system entropy source fails, which crypto/rand.Read never does
+// on supported platforms).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], fallbackID.next())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// fallbackID is the entropy-failure counter behind NewID.
+var fallbackID idCounter
+
+type idCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *idCounter) next() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeStat is one process-health gauge sampled from the
+// runtime/metrics interface, named ready for text exposition.
+type RuntimeStat struct {
+	Name  string
+	Value float64
+}
+
+// runtimeGauge maps one exposition name to the runtime/metrics names
+// that can back it, in preference order (the runtime renames metrics
+// across Go releases — e.g. GC pauses moved from /gc/pauses:seconds
+// to /sched/pauses/total/gc:seconds).
+type runtimeGauge struct {
+	name       string
+	candidates []string
+	// p99 extracts the 99th percentile when the sample is a
+	// Float64Histogram instead of a scalar.
+	p99 bool
+}
+
+var runtimeGauges = []runtimeGauge{
+	{name: "capsnet_go_goroutines", candidates: []string{"/sched/goroutines:goroutines"}},
+	{name: "capsnet_go_heap_objects_bytes", candidates: []string{"/memory/classes/heap/objects:bytes"}},
+	{name: "capsnet_go_memory_total_bytes", candidates: []string{"/memory/classes/total:bytes"}},
+	{name: "capsnet_go_gc_cycles_total", candidates: []string{"/gc/cycles/total:gc-cycles"}},
+	{name: "capsnet_go_gc_pause_p99_seconds", p99: true,
+		candidates: []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}},
+	{name: "capsnet_go_sched_latency_p99_seconds", p99: true,
+		candidates: []string{"/sched/latencies:seconds"}},
+}
+
+// runtimeSampleSet is resolved once: which candidate (if any) backs
+// each gauge on this Go runtime.
+var runtimeSampleSet = resolveRuntimeGauges()
+
+func resolveRuntimeGauges() []metrics.Sample {
+	available := make(map[string]bool)
+	for _, d := range metrics.All() {
+		available[d.Name] = true
+	}
+	samples := make([]metrics.Sample, 0, len(runtimeGauges))
+	for _, g := range runtimeGauges {
+		for _, c := range g.candidates {
+			if available[c] {
+				samples = append(samples, metrics.Sample{Name: c})
+				break
+			}
+		}
+	}
+	return samples
+}
+
+// RuntimeStats samples the process-health gauges (goroutine count,
+// heap bytes, GC cycles, GC pause p99, scheduler latency p99) for the
+// /metrics endpoint. Gauges whose backing metric does not exist on
+// this Go runtime are omitted rather than reported as zero.
+func RuntimeStats() []RuntimeStat {
+	if len(runtimeSampleSet) == 0 {
+		return nil
+	}
+	samples := make([]metrics.Sample, len(runtimeSampleSet))
+	copy(samples, runtimeSampleSet)
+	metrics.Read(samples)
+	byName := make(map[string]metrics.Sample, len(samples))
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	out := make([]RuntimeStat, 0, len(runtimeGauges))
+	for _, g := range runtimeGauges {
+		for _, c := range g.candidates {
+			s, ok := byName[c]
+			if !ok {
+				continue
+			}
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				out = append(out, RuntimeStat{Name: g.name, Value: float64(s.Value.Uint64())})
+			case metrics.KindFloat64:
+				out = append(out, RuntimeStat{Name: g.name, Value: s.Value.Float64()})
+			case metrics.KindFloat64Histogram:
+				if g.p99 {
+					out = append(out, RuntimeStat{Name: g.name, Value: histPercentile(s.Value.Float64Histogram(), 0.99)})
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+// histPercentile estimates the p-th percentile of a runtime
+// Float64Histogram as the upper boundary of the bucket containing the
+// rank (clamping the ±Inf edge buckets to their finite neighbour).
+func histPercentile(h *metrics.Float64Histogram, p float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			lo := h.Buckets[i]
+			if math.IsInf(lo, 0) {
+				return 0
+			}
+			return lo
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pimcapsnet/internal/obs"
 )
 
 // Batcher errors surfaced to the HTTP layer.
@@ -55,6 +57,15 @@ type request struct {
 	ctx  context.Context
 	img  []float32
 	done chan outcome // buffered(1); runner never blocks on it
+
+	// trace is the request's sampled span trace (nil for unsampled
+	// requests — the common case).
+	trace *obs.Trace
+	// enqueued is when Submit admitted the request; collected is when
+	// the dispatcher pulled it off the queue. Their difference is the
+	// queue-wait stage; collected → batch launch is batch assembly.
+	enqueued  time.Time
+	collected time.Time
 }
 
 type outcome struct {
@@ -91,6 +102,14 @@ type Batcher struct {
 	// injectable so fill-timer tests stay unaffected.
 	wdTimer func(time.Duration) <-chan time.Time
 
+	// clock stamps queue/pipeline stage boundaries (Config.Clock, or
+	// time.Now).
+	clock obs.Clock
+	// rec, when non-nil, is the forward-pass stage recorder shared
+	// with the network; the runner attaches each batch's trace to it
+	// before inference so stage spans land on the right timeline.
+	rec *obs.StageRecorder
+
 	mu     sync.RWMutex
 	closed bool
 
@@ -103,6 +122,10 @@ type Batcher struct {
 // the caller) that executes batches with run. Call Start before
 // Submit.
 func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Batcher {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	return &Batcher{
 		cfg:               cfg,
 		run:               run,
@@ -116,6 +139,7 @@ func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Bat
 		wdTimer: func(d time.Duration) <-chan time.Time {
 			return time.After(d)
 		},
+		clock:          clock,
 		stop:           make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
 		runnerDone:     make(chan struct{}),
@@ -136,7 +160,13 @@ func (b *Batcher) QueueDepth() int { return b.q.Len() }
 // the request shared. ErrQueueFull signals backpressure; ErrClosed
 // signals shutdown.
 func (b *Batcher) Submit(ctx context.Context, img []float32) (Prediction, int, error) {
-	r := &request{ctx: ctx, img: img, done: make(chan outcome, 1)}
+	r := &request{
+		ctx:      ctx,
+		img:      img,
+		done:     make(chan outcome, 1),
+		trace:    obs.TraceFrom(ctx),
+		enqueued: b.clock(),
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -166,6 +196,7 @@ func (b *Batcher) dispatch() {
 		var first *request
 		select {
 		case first = <-b.q.C():
+			first.collected = b.clock()
 		case <-b.stop:
 			b.drain(nil)
 			return
@@ -176,6 +207,7 @@ func (b *Batcher) dispatch() {
 		for len(batch) < b.cfg.MaxBatch {
 			select {
 			case r := <-b.q.C():
+				r.collected = b.clock()
 				batch = append(batch, r)
 			case <-timeout:
 				break collect
@@ -199,6 +231,7 @@ func (b *Batcher) drain(batch []*request) {
 			if !ok {
 				break
 			}
+			r.collected = b.clock()
 			batch = append(batch, r)
 		}
 		if len(batch) == 0 {
@@ -250,9 +283,37 @@ func (b *Batcher) runBatch(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
+	// launch closes the batch-assembly stage and opens the forward
+	// stage: one stamp, so the pipeline stages partition each request's
+	// time in the batcher exactly.
+	launch := b.clock()
+	var batchTrace *obs.Trace
 	images := make([][]float32, len(live))
 	for i, r := range live {
 		images[i] = r.img
+		if b.metrics != nil {
+			qw := r.collected.Sub(r.enqueued).Seconds()
+			b.metrics.QueueWait.Observe(qw)
+			b.metrics.ObserveStage(StageQueueWait, qw)
+			b.metrics.ObserveStage(StageBatchAssembly, launch.Sub(r.collected).Seconds())
+		}
+		if r.trace != nil {
+			r.trace.Add(StageQueueWait, -1, r.enqueued, r.collected)
+			r.trace.Add(StageBatchAssembly, -1, r.collected, launch)
+			if batchTrace == nil {
+				// One transient trace collects the batch's forward-pass
+				// stage spans; they are copied to every sampled rider
+				// after the run.
+				batchTrace = &obs.Trace{}
+			}
+		}
+	}
+	if b.rec != nil {
+		// Attach (or detach, when no rider is sampled) before the
+		// inference goroutine starts. BeginStage captures this pointer,
+		// so a watchdog-abandoned forward pass keeps writing to its own
+		// discarded batchTrace instead of racing the next batch's.
+		b.rec.SetCurrent(batchTrace)
 	}
 	resCh := make(chan runResult, 1)
 	go func() {
@@ -272,6 +333,7 @@ func (b *Batcher) runBatch(batch []*request) {
 	}
 	select {
 	case res := <-resCh:
+		fwdEnd := b.clock()
 		if res.panicked {
 			if b.metrics != nil {
 				b.metrics.IncPanicRecovered()
@@ -284,8 +346,12 @@ func (b *Batcher) runBatch(batch []*request) {
 		}
 		if b.metrics != nil {
 			b.metrics.ObserveBatch(len(live), b.routingIterations)
+			b.metrics.ObserveStage(StageForward, fwdEnd.Sub(launch).Seconds())
 		}
+		spans := batchTrace.Spans()
 		for i, r := range live {
+			r.trace.Add(StageForward, -1, launch, fwdEnd)
+			r.trace.AddSpans(spans)
 			r.done <- outcome{pred: res.preds[i], batch: len(live), err: res.preds[i].Err}
 		}
 	case <-deadline:

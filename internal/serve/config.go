@@ -20,7 +20,10 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
+
+	"pimcapsnet/internal/obs"
 )
 
 // Config tunes the server and its micro-batcher. The zero value is
@@ -47,6 +50,25 @@ type Config struct {
 	// ErrBatchTimeout (HTTP 500) so a stalled forward pass cannot
 	// wedge the queue behind it. Default 30s.
 	BatchDeadline time.Duration
+	// TraceSample is the fraction of requests whose full span timeline
+	// (admission → queue wait → batch assembly → forward-pass stages →
+	// encode) is recorded and retained for /debug/requests/trace, in
+	// [0, 1]. Sampling is deterministic (every ⌈1/rate⌉-th request).
+	// Default 0: no span recording — trace IDs, request logs, and the
+	// per-stage histograms all still work, and an unsampled request
+	// pays one nil check per span site.
+	TraceSample float64
+	// TraceBuffer is how many completed request traces the ring buffer
+	// behind /debug/requests/trace retains. Default 256.
+	TraceBuffer int
+	// Logger, when non-nil, receives one structured log record per
+	// classify request (trace ID, status, latency, batch size). Nil
+	// disables request logging.
+	Logger *slog.Logger
+	// Clock overrides the observability time source (trace spans,
+	// queue-wait measurement); nil means time.Now. Tests inject a fake
+	// clock here for deterministic span timings.
+	Clock obs.Clock
 	// PreRunHook, when non-nil, is called by the batch runner with
 	// the assembled batch images immediately before inference, on the
 	// same goroutine the forward pass uses — so a hook that panics or
@@ -87,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchDeadline == 0 {
 		c.BatchDeadline = DefaultBatchDeadline
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = obs.DefaultTraceBuffer
+	}
 	return c
 }
 
@@ -110,6 +135,12 @@ func (c Config) Validate() error {
 	}
 	if c.BatchDeadline <= 0 {
 		return fmt.Errorf("serve: BatchDeadline %v, need > 0", c.BatchDeadline)
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("serve: TraceSample %g, need 0 ≤ rate ≤ 1", c.TraceSample)
+	}
+	if c.TraceBuffer < 1 {
+		return fmt.Errorf("serve: TraceBuffer %d, need ≥ 1", c.TraceBuffer)
 	}
 	return nil
 }

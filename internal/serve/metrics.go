@@ -5,14 +5,18 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
+
+	"pimcapsnet/internal/obs"
 )
 
-// Histogram is a fixed-bucket, lock-free histogram. Observations land
-// in the first bucket whose upper bound is ≥ the value; the final
-// implicit bucket is +Inf. Quantiles are estimated by linear
-// interpolation inside the containing bucket, which is exact enough
-// for p50/p95/p99 dashboards on exponential bucket layouts.
+// Histogram is a fixed-bucket, lock-free histogram over a
+// non-negative domain (latencies, sizes). Observations land in the
+// first bucket whose upper bound is ≥ the value; the final implicit
+// bucket is +Inf. Quantiles are estimated by linear interpolation
+// inside the containing bucket, which is exact enough for p50/p95/p99
+// dashboards on exponential bucket layouts.
 type Histogram struct {
 	bounds   []float64       // ascending upper bounds, excluding +Inf
 	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
@@ -32,14 +36,19 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. The histogram's domain is non-negative:
+// zero is a legal observation (it lands in the first bucket and adds
+// zero to the sum, so _sum stays consistent with _count·mean), and a
+// negative value — always an upstream bug for durations and sizes —
+// is clamped to zero rather than wrapping the uint64 sum around.
 func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	if v > 0 {
-		h.sumMicro.Add(uint64(v * 1e6))
-	}
+	h.sumMicro.Add(uint64(v*1e6 + 0.5))
 }
 
 // Count returns the number of observations.
@@ -48,53 +57,100 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observations (microsecond-granular).
 func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
 
+// Overflow returns the number of observations that exceeded the
+// largest finite bucket bound (the +Inf bucket's count) — the
+// companion counter that makes Quantile's tail clipping visible.
+func (h *Histogram) Overflow() uint64 { return h.counts[len(h.bounds)].Load() }
+
 // Quantile estimates the q-th quantile (0 < q < 1) from the bucket
-// counts. Observations in the +Inf bucket are attributed to the
-// largest finite bound. Returns 0 when empty.
+// counts. Ranks landing in the +Inf bucket cannot be interpolated —
+// there is no finite upper bound to interpolate toward — so they
+// report the largest finite bound; check Overflow to see how many
+// observations were clipped that way. Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
+	maxBound := h.bounds[len(h.bounds)-1]
 	rank := q * float64(total)
 	var cum float64
 	for i := range h.counts {
 		n := float64(h.counts[i].Load())
-		if cum+n >= rank && n > 0 {
-			hi := h.bounds[len(h.bounds)-1]
-			if i < len(h.bounds) {
-				hi = h.bounds[i]
-			}
-			lo := 0.0
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
-			if hi <= lo {
-				return hi
-			}
-			return lo + (hi-lo)*(rank-cum)/n
+		if n == 0 || cum+n < rank {
+			cum += n
+			continue
 		}
-		cum += n
+		if i == len(h.bounds) {
+			return maxBound // +Inf bucket: clip, don't interpolate
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return maxBound
 }
 
 // writeText emits the histogram in Prometheus-style text exposition
-// under the given metric name, including quantile, bucket, sum and
-// count lines.
-func (h *Histogram) writeText(w io.Writer, name string) {
+// under the given metric name, including quantile, bucket, sum, count
+// and overflow lines. labels, when non-empty, is a pre-rendered label
+// pair list (e.g. `stage="conv"`) merged into every line.
+func (h *Histogram) writeText(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	for _, q := range []float64{0.5, 0.95, 0.99} {
-		fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+		fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n", name, labels, sep, fmt.Sprintf("%g", q), h.Quantile(q))
 	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", b), cum)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+		fmt.Fprintf(w, "%s_overflow_total %d\n", name, h.Overflow())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+		fmt.Fprintf(w, "%s_overflow_total{%s} %d\n", name, labels, h.Overflow())
+	}
+}
+
+// Serving-pipeline stage names (the capsnet_stage_seconds label
+// values the HTTP/batching layers observe; forward-pass internals use
+// capsnet.Stage* names). Together the five pipeline stages partition
+// a request's wall time, so their sums approximately account for
+// end-to-end latency.
+const (
+	// StageAdmission is body decode + validation in the HTTP handler.
+	StageAdmission = "admission"
+	// StageQueueWait is time between queue admission and the batch
+	// dispatcher collecting the request.
+	StageQueueWait = "queue_wait"
+	// StageBatchAssembly is time between collection and the batch
+	// launching (waiting for batchmates or the fill timer).
+	StageBatchAssembly = "batch_assembly"
+	// StageForward is the batched forward pass (whose interior the
+	// capsnet.Stage* stages further decompose).
+	StageForward = "forward"
+	// StageEncode is response serialization.
+	StageEncode = "encode"
+)
+
+// defaultStageBuckets are the bucket bounds for every per-stage
+// histogram: finer at the microsecond end than the request-latency
+// layout because single stages (one routing iteration, one softmax
+// pass) are much shorter than whole requests.
+var defaultStageBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
 // Metrics aggregates everything the /metrics endpoint exposes. All
@@ -109,9 +165,26 @@ type Metrics struct {
 	Latency *Histogram
 	// BatchSize is the per-launched-batch request count.
 	BatchSize *Histogram
+	// QueueWait is the per-request admission-queue wait in seconds
+	// (capsnet_queue_wait_seconds) — the batching cost a request pays
+	// for sharing its forward pass.
+	QueueWait *Histogram
+	// RoutingIteration is the per-iteration dynamic-routing time in
+	// seconds (capsnet_routing_iteration_seconds), the direct
+	// production counterpart of the paper's Figure 3/4 routing
+	// characterization.
+	RoutingIteration *Histogram
+
+	// stages holds one histogram per observed stage label
+	// (capsnet_stage_seconds{stage=...}), created on first
+	// observation so capsnet can add stages without a schema change
+	// here.
+	stagesMu sync.RWMutex
+	stages   map[string]*Histogram
 
 	batches      atomic.Uint64
 	routingIters atomic.Uint64
+	tracesTotal  atomic.Uint64
 
 	// Robustness counters (see the README's "Robustness & fault
 	// injection" section for the degradation ladder they instrument).
@@ -130,12 +203,15 @@ var responseCodesArray = [...]int{200, 400, 404, 405, 429, 500, 503, 504}
 
 // NewMetrics creates the metric set with the server's bucket layouts:
 // latency buckets from 0.5ms to 5s, batch-size buckets covering
-// power-of-two micro-batch caps up to 64.
+// power-of-two micro-batch caps up to 64, stage buckets from 25µs up.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		Latency: NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
-		BatchSize: NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		BatchSize:        NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		QueueWait:        NewHistogram(defaultStageBuckets...),
+		RoutingIteration: NewHistogram(defaultStageBuckets...),
+		stages:           make(map[string]*Histogram),
 	}
 }
 
@@ -160,6 +236,38 @@ func (m *Metrics) ObserveBatch(size, routingIterations int) {
 	m.BatchSize.Observe(float64(size))
 	m.routingIters.Add(uint64(routingIterations))
 }
+
+// ObserveStage records one completed pipeline or forward-pass stage
+// of the given duration. Stage capsnet.StageRoutingIteration
+// additionally feeds the dedicated routing-iteration histogram.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.StageHistogram(stage).Observe(seconds)
+}
+
+// StageHistogram returns (creating on first use) the histogram behind
+// capsnet_stage_seconds{stage=...}.
+func (m *Metrics) StageHistogram(stage string) *Histogram {
+	m.stagesMu.RLock()
+	h, ok := m.stages[stage]
+	m.stagesMu.RUnlock()
+	if ok {
+		return h
+	}
+	m.stagesMu.Lock()
+	defer m.stagesMu.Unlock()
+	if h, ok = m.stages[stage]; ok {
+		return h
+	}
+	if m.stages == nil {
+		m.stages = make(map[string]*Histogram)
+	}
+	h = NewHistogram(defaultStageBuckets...)
+	m.stages[stage] = h
+	return h
+}
+
+// IncTraces counts one request trace retained in the ring buffer.
+func (m *Metrics) IncTraces() { m.tracesTotal.Add(1) }
 
 // Batches returns the number of launched batches.
 func (m *Metrics) Batches() uint64 { return m.batches.Load() }
@@ -206,12 +314,33 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "capsnet_queue_depth %d\n", depth)
 	fmt.Fprintf(w, "capsnet_batches_total %d\n", m.batches.Load())
 	fmt.Fprintf(w, "capsnet_routing_iterations_total %d\n", m.routingIters.Load())
+	fmt.Fprintf(w, "capsnet_request_traces_total %d\n", m.tracesTotal.Load())
 	fmt.Fprintf(w, "capsnet_panics_recovered_total %d\n", m.panicsRecovered.Load())
 	fmt.Fprintf(w, "capsnet_watchdog_failed_batches_total %d\n", m.watchdogBatches.Load())
 	fmt.Fprintf(w, "capsnet_routing_exact_fallbacks_total %d\n", m.routingFallbacks.Load())
 	fmt.Fprintf(w, "capsnet_checkpoint_load_rejections_total %d\n", m.checkpointRejts.Load())
-	m.Latency.writeText(w, "capsnet_request_latency_seconds")
-	m.BatchSize.writeText(w, "capsnet_batch_size")
+	for _, g := range obs.RuntimeStats() {
+		fmt.Fprintf(w, "%s %g\n", g.Name, g.Value)
+	}
+	m.Latency.writeText(w, "capsnet_request_latency_seconds", "")
+	m.BatchSize.writeText(w, "capsnet_batch_size", "")
+	m.QueueWait.writeText(w, "capsnet_queue_wait_seconds", "")
+	m.RoutingIteration.writeText(w, "capsnet_routing_iteration_seconds", "")
+
+	m.stagesMu.RLock()
+	stages := make([]string, 0, len(m.stages))
+	for s := range m.stages {
+		stages = append(stages, s)
+	}
+	hists := make([]*Histogram, len(stages))
+	sort.Strings(stages)
+	for i, s := range stages {
+		hists[i] = m.stages[s]
+	}
+	m.stagesMu.RUnlock()
+	for i, s := range stages {
+		hists[i].writeText(w, "capsnet_stage_seconds", fmt.Sprintf("stage=%q", s))
+	}
 }
 
 // Handler returns the /metrics endpoint.

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramObserveZero pins the sum fix: a zero observation must
+// count AND contribute zero to the sum (the old guard silently dropped
+// non-positive values from sumMicro, skewing _sum/_count means).
+func TestHistogramObserveZero(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0)
+	h.Observe(2)
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+	if got := h.Sum(); got != 2 {
+		t.Fatalf("sum %g, want 2 (zero observation contributes zero, not nothing)", got)
+	}
+}
+
+// TestHistogramObserveNegativeClamps checks negatives (always an
+// upstream bug for durations) clamp to zero instead of wrapping the
+// uint64 sum.
+func TestHistogramObserveNegativeClamps(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(-5)
+	if h.Count() != 1 {
+		t.Fatalf("count %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum %g, want 0 after clamping", got)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("clamped value landed in bucket %v, want first", h.counts)
+	}
+}
+
+// TestHistogramAllOverflow pins the +Inf-bucket quantile contract:
+// when every observation exceeds the largest finite bound, quantiles
+// report that bound (not a fabricated interpolation) and the overflow
+// counter exposes the clipping.
+func TestHistogramAllOverflow(t *testing.T) {
+	h := NewHistogram(1, 2)
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("q%g = %g, want clipped to 2", q, got)
+		}
+	}
+	if got := h.Overflow(); got != 10 {
+		t.Errorf("Overflow() = %d, want 10", got)
+	}
+	if got := h.Sum(); got != 500 {
+		t.Errorf("sum %g, want 500", got)
+	}
+}
+
+// TestHistogramExactBound checks an observation equal to a bucket's
+// upper bound lands in that bucket (le is inclusive, per Prometheus
+// semantics).
+func TestHistogramExactBound(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(2)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("Observe(2) landed in counts %v, want bucket le=2", &h.counts)
+	}
+	if got := h.Overflow(); got != 0 {
+		t.Fatalf("exact-bound observation counted as overflow")
+	}
+	h.Observe(4) // largest finite bound: still not overflow
+	if got := h.Overflow(); got != 0 {
+		t.Fatalf("largest-bound observation counted as overflow")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// meaningful under -race (the CI race job) and double-checks totals.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%4) * 0.01)
+				_ = h.Quantile(0.5)
+				_ = h.Sum()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+	wantSum := float64(per) * (0 + 0.01 + 0.02 + 0.03) * float64(workers) / 4
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum+1e-9 {
+		t.Fatalf("sum %g, want %g", got, wantSum)
+	}
+}
+
+// TestHistogramGoldenExposition is the golden test for the text
+// exposition: exact output, unlabeled and labeled, including the
+// quantile, bucket, sum, count, and overflow lines.
+func TestHistogramGoldenExposition(t *testing.T) {
+	h := NewHistogram(0.5, 1)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3) // overflow
+
+	var sb strings.Builder
+	h.writeText(&sb, "x_seconds", "")
+	want := `x_seconds{quantile="0.5"} 0.5
+x_seconds{quantile="0.95"} 1
+x_seconds{quantile="0.99"} 1
+x_seconds_bucket{le="0.5"} 2
+x_seconds_bucket{le="1"} 3
+x_seconds_bucket{le="+Inf"} 4
+x_seconds_sum 4.25
+x_seconds_count 4
+x_seconds_overflow_total 1
+`
+	if sb.String() != want {
+		t.Errorf("unlabeled exposition:\ngot:\n%swant:\n%s", sb.String(), want)
+	}
+
+	sb.Reset()
+	h.writeText(&sb, "x_seconds", `stage="conv"`)
+	want = `x_seconds{stage="conv",quantile="0.5"} 0.5
+x_seconds{stage="conv",quantile="0.95"} 1
+x_seconds{stage="conv",quantile="0.99"} 1
+x_seconds_bucket{stage="conv",le="0.5"} 2
+x_seconds_bucket{stage="conv",le="1"} 3
+x_seconds_bucket{stage="conv",le="+Inf"} 4
+x_seconds_sum{stage="conv"} 4.25
+x_seconds_count{stage="conv"} 4
+x_seconds_overflow_total{stage="conv"} 1
+`
+	if sb.String() != want {
+		t.Errorf("labeled exposition:\ngot:\n%swant:\n%s", sb.String(), want)
+	}
+}
+
+// promLine matches one Prometheus text-format sample line: a metric
+// name, an optional label set, and a float value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? ` +
+		`(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$`)
+
+// TestMetricsExpositionGrammar validates every line the full /metrics
+// endpoint emits — including runtime gauges and labeled stage
+// histograms — against the Prometheus text grammar.
+func TestMetricsExpositionGrammar(t *testing.T) {
+	m := NewMetrics()
+	m.IncRequest()
+	m.IncResponse(200)
+	m.ObserveBatch(4, 3)
+	m.Latency.Observe(0.003)
+	m.QueueWait.Observe(0.0001)
+	m.RoutingIteration.Observe(0.0005)
+	m.ObserveStage(StageAdmission, 0.0002)
+	m.ObserveStage("conv", 0.001)
+
+	var sb strings.Builder
+	m.WriteText(&sb)
+	text := sb.String()
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d not valid Prometheus text format: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		`capsnet_queue_wait_seconds_count 1`,
+		`capsnet_routing_iteration_seconds_count 1`,
+		`capsnet_stage_seconds_count{stage="admission"} 1`,
+		`capsnet_stage_seconds_count{stage="conv"} 1`,
+		`capsnet_go_goroutines `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Stage families must come out sorted by label for scrape
+	// stability.
+	if strings.Index(text, `stage="admission"`) > strings.Index(text, `stage="conv"`) {
+		t.Error("stage histograms not sorted by stage label")
+	}
+}

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/obs"
 )
 
 // ClassifyRequest is the POST /v1/classify body: one flattened image,
@@ -55,6 +59,16 @@ type Server struct {
 	// load balancers stop routing before in-flight work finishes.
 	draining atomic.Bool
 	imgLen   int
+
+	// tracer issues per-request trace IDs, samples span timelines, and
+	// retains completed traces for /debug/requests/trace.
+	tracer *obs.Tracer
+	// clock is the observability time source (Config.Clock or
+	// time.Now).
+	clock obs.Clock
+	// logger receives one structured record per classify request when
+	// non-nil.
+	logger *slog.Logger
 }
 
 // New builds and starts a server over net. The network's weights must
@@ -106,6 +120,20 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 		return preds
 	}
 	b := NewBatcher(cfg, run, m, network.Config.RoutingIterations)
+	// Attach the forward-pass stage hook: the recorder owns the clock
+	// (capsnet stays free of time sources and of any obs import), feeds
+	// every stage duration into the per-stage histograms, and lands
+	// spans on whichever batch trace the runner attaches. Note this
+	// sets network.Stages, so the network passed in is observed for as
+	// long as it lives.
+	rec := obs.NewStageRecorder(cfg.Clock, func(stage string, iter int, seconds float64) {
+		m.ObserveStage(stage, seconds)
+		if stage == capsnet.StageRoutingIteration {
+			m.RoutingIteration.Observe(seconds)
+		}
+	})
+	network.Stages = rec
+	b.rec = rec
 	s := newServer(network, cfg, b, m)
 	b.Start()
 	return s, nil
@@ -115,15 +143,38 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 // batcher; split from New so tests can inject instrumented batchers.
 func newServer(network *capsnet.Network, cfg Config, b *Batcher, m *Metrics) *Server {
 	m.QueueDepth = b.QueueDepth
-	s := &Server{cfg: cfg, net: network, batcher: b, metrics: m, imgLen: network.ImageLen()}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{
+		cfg: cfg, net: network, batcher: b, metrics: m, imgLen: network.ImageLen(),
+		clock:  clock,
+		logger: cfg.Logger,
+		tracer: obs.NewTracer(obs.TracerConfig{
+			Sample:     cfg.TraceSample,
+			BufferSize: cfg.TraceBuffer,
+			Clock:      cfg.Clock,
+		}),
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", m.Handler())
+	s.mux.HandleFunc("/debug/requests/trace", s.handleRequestTrace)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
+
+// Tracer exposes the request tracer (tests and the shutdown trace
+// export in cmd/capsnet-serve read the ring through it).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Handler returns the root handler (mount it on an http.Server or
 // httptest.Server).
@@ -150,7 +201,17 @@ func (s *Server) StartDraining() { s.draining.Store(true) }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.metrics.IncRequest()
-	start := time.Now()
+	start := s.clock()
+	// Every request gets a trace ID (response header + log
+	// correlation); only sampled requests get a live span trace. A
+	// caller-supplied X-Trace-Id is honored so IDs can follow a request
+	// across services.
+	id := r.Header.Get("X-Trace-Id")
+	if id == "" {
+		id = s.tracer.NewID()
+	}
+	t := s.tracer.StartRequest(id, start)
+	r = r.WithContext(obs.WithTrace(r.Context(), id, t))
 	code, body := s.classify(r)
 	s.metrics.IncResponse(code)
 	if code == http.StatusTooManyRequests {
@@ -159,9 +220,56 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Trace-Id", id)
 	w.WriteHeader(code)
+	encStart := s.clock()
 	json.NewEncoder(w).Encode(body)
-	s.metrics.Latency.Observe(time.Since(start).Seconds())
+	end := s.clock()
+	s.metrics.ObserveStage(StageEncode, end.Sub(encStart).Seconds())
+	t.Add(StageEncode, -1, encStart, end)
+	if t != nil {
+		s.tracer.Finish(t, end)
+		s.metrics.IncTraces()
+	}
+	latency := end.Sub(start).Seconds()
+	s.metrics.Latency.Observe(latency)
+	if s.logger != nil {
+		lvl := slog.LevelInfo
+		switch {
+		case code >= 500:
+			lvl = slog.LevelError
+		case code >= 400:
+			lvl = slog.LevelWarn
+		}
+		batch := 0
+		if resp, ok := body.(ClassifyResponse); ok {
+			batch = resp.Batch
+		}
+		s.logger.LogAttrs(r.Context(), lvl, "classify",
+			slog.String("trace_id", id),
+			slog.Int("status", code),
+			slog.Float64("latency_seconds", latency),
+			slog.Int("batch", batch),
+			slog.Bool("sampled", t != nil),
+		)
+	}
+}
+
+// handleRequestTrace serves the completed-trace ring as Chrome
+// trace-event JSON (load the response in Perfetto / chrome://tracing).
+// ?last=N bounds how many most-recent requests are included.
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	n := s.cfg.TraceBuffer
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, s.tracer.Last(n), s.tracer.Epoch())
 }
 
 // errorBody is the JSON error payload.
@@ -173,6 +281,7 @@ func (s *Server) classify(r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
 		return http.StatusMethodNotAllowed, errorBody{Error: "POST only"}
 	}
+	aStart := s.clock()
 	var req ClassifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)}
@@ -190,6 +299,12 @@ func (s *Server) classify(r *http.Request) (int, any) {
 			}
 		}
 	}
+	// Admission closes here: decode + validation done, the request
+	// enters the batching pipeline. Rejected requests never reach the
+	// pipeline, so they record no admission stage.
+	aEnd := s.clock()
+	s.metrics.ObserveStage(StageAdmission, aEnd.Sub(aStart).Seconds())
+	obs.TraceFrom(r.Context()).Add(StageAdmission, -1, aStart, aEnd)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	pred, batch, err := s.batcher.Submit(ctx, req.Image)

@@ -1,7 +1,8 @@
-// Package trace records simulation timelines and writes them in the
-// Chrome trace-event format (chrome://tracing, Perfetto), so a
-// co-simulation run renders as a Gantt chart of vault activity and
-// communication phases.
+// Package trace records simulation and serving timelines and writes
+// them in the Chrome trace-event format (chrome://tracing, Perfetto),
+// so a co-simulation run — or a window of served requests — renders
+// as a Gantt chart of vault activity, communication phases, or
+// request pipeline stages.
 package trace
 
 import (
@@ -11,22 +12,41 @@ import (
 	"sort"
 )
 
-// Event is one timeline entry (a subset of the trace-event spec: only
-// complete events, phase "X").
+// Event is one timeline entry (a subset of the trace-event spec:
+// complete "X", instant "i", and counter "C" events).
 type Event struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds (complete events)
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	// S is the instant-event scope ("t" thread, "p" process, "g"
+	// global); empty for other phases.
+	S string `json:"s,omitempty"`
+	// Args carries string annotations for complete/instant events and
+	// numeric series values for counter events (Perfetto graphs
+	// counters only when the values are JSON numbers).
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // Log accumulates events.
 type Log struct {
 	events []Event
+}
+
+// stringArgs widens a string map to the Event arg type (nil stays
+// nil, so argless events carry no empty maps).
+func stringArgs(args map[string]string) map[string]any {
+	if args == nil {
+		return nil
+	}
+	out := make(map[string]any, len(args))
+	for k, v := range args {
+		out[k] = v
+	}
+	return out
 }
 
 // Complete records a complete ("X") event on process pid / track tid
@@ -37,7 +57,30 @@ func (l *Log) Complete(name, cat string, pid, tid int, start, dur float64, args 
 	}
 	l.events = append(l.events, Event{
 		Name: name, Cat: cat, Ph: "X",
-		TS: start, Dur: dur, PID: pid, TID: tid, Args: args,
+		TS: start, Dur: dur, PID: pid, TID: tid, Args: stringArgs(args),
+	})
+}
+
+// Instant records an instant ("i") event — a zero-duration marker —
+// at ts microseconds on process pid / track tid, with thread scope so
+// viewers draw it on that track.
+func (l *Log) Instant(name, cat string, pid, tid int, ts float64, args map[string]string) {
+	l.events = append(l.events, Event{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS: ts, PID: pid, TID: tid, Args: stringArgs(args),
+	})
+}
+
+// Counter records a counter ("C") sample at ts microseconds: each
+// series name maps to its value at that instant, and trace viewers
+// render the series as a stacked area chart on its own track.
+func (l *Log) Counter(name string, pid int, ts float64, series map[string]float64) {
+	args := make(map[string]any, len(series))
+	for k, v := range series {
+		args[k] = v
+	}
+	l.events = append(l.events, Event{
+		Name: name, Ph: "C", TS: ts, PID: pid, Args: args,
 	})
 }
 
@@ -51,6 +94,14 @@ func (l *Log) Events() []Event {
 	return out
 }
 
+// Merge appends every event of other into l.
+func (l *Log) Merge(other *Log) {
+	if other == nil {
+		return
+	}
+	l.events = append(l.events, other.events...)
+}
+
 // WriteJSON writes the log in the Chrome trace-event JSON format.
 func (l *Log) WriteJSON(w io.Writer) error {
 	payload := struct {
@@ -59,6 +110,30 @@ func (l *Log) WriteJSON(w io.Writer) error {
 	}{TraceEvents: l.Events(), DisplayUnit: "ns"}
 	enc := json.NewEncoder(w)
 	return enc.Encode(payload)
+}
+
+// ReadJSON parses a Chrome trace-event JSON payload previously
+// produced by WriteJSON (the round-trip the observability smoke test
+// uses to validate /debug/requests/trace output).
+func ReadJSON(r io.Reader) (*Log, error) {
+	var payload struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&payload); err != nil {
+		return nil, fmt.Errorf("trace: decoding trace-event JSON: %w", err)
+	}
+	for i, e := range payload.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "C":
+		default:
+			return nil, fmt.Errorf("trace: event %d has unsupported phase %q", i, e.Ph)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			return nil, fmt.Errorf("trace: event %d (%q) has negative duration %v", i, e.Name, e.Dur)
+		}
+	}
+	return &Log{events: payload.TraceEvents}, nil
 }
 
 // TotalSpan returns the [min start, max end] extent of the log.

@@ -65,3 +65,89 @@ func TestEmptySpan(t *testing.T) {
 		t.Fatal("empty log span must be zero")
 	}
 }
+
+func TestInstantAndCounterEvents(t *testing.T) {
+	var l Log
+	l.Instant("marker", "serve", 1, 2, 7, map[string]string{"trace_id": "abc"})
+	l.Counter("inflight", 1, 9, map[string]float64{"requests": 3})
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	in, ctr := evs[0], evs[1]
+	if in.Ph != "i" || in.S != "t" || in.TS != 7 || in.TID != 2 {
+		t.Errorf("instant event %+v", in)
+	}
+	if in.Args["trace_id"] != "abc" {
+		t.Errorf("instant args %v", in.Args)
+	}
+	if ctr.Ph != "C" || ctr.TS != 9 {
+		t.Errorf("counter event %+v", ctr)
+	}
+	if v, ok := ctr.Args["requests"].(float64); !ok || v != 3 {
+		t.Errorf("counter series %v, want numeric 3", ctr.Args)
+	}
+	// TotalSpan treats zero-duration events as points.
+	if s, e := l.TotalSpan(); s != 7 || e != 9 {
+		t.Errorf("span [%v, %v], want [7, 9]", s, e)
+	}
+}
+
+// TestReadJSONRoundTrip writes a mixed log and parses it back,
+// checking phases, args, and numeric counter values survive.
+func TestReadJSONRoundTrip(t *testing.T) {
+	var l Log
+	l.Complete("forward", "serve", 1, 1, 0, 12, map[string]string{"trace_id": "x"})
+	l.Instant("done", "serve", 1, 1, 12, nil)
+	l.Counter("completed", 1, 12, map[string]float64{"requests": 1})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("round-trip kept %d events, want 3", got.Len())
+	}
+	evs := got.Events()
+	if evs[0].Ph != "X" || evs[0].Dur != 12 || evs[0].Args["trace_id"] != "x" {
+		t.Errorf("complete event %+v", evs[0])
+	}
+	var sawCounter bool
+	for _, e := range evs {
+		if e.Ph == "C" {
+			sawCounter = true
+			if v, ok := e.Args["requests"].(float64); !ok || v != 1 {
+				t.Errorf("counter args %v", e.Args)
+			}
+		}
+	}
+	if !sawCounter {
+		t.Error("counter event lost in round-trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"traceEvents":[{"ph":"Z","name":"x"}]}`)); err == nil {
+		t.Error("unsupported phase accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"traceEvents":[{"ph":"X","name":"x","dur":-4}]}`)); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Log
+	a.Complete("one", "", 0, 0, 0, 1, nil)
+	b.Complete("two", "", 0, 1, 2, 1, nil)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Len() != 2 {
+		t.Fatalf("merged len %d, want 2", a.Len())
+	}
+}
