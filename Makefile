@@ -1,0 +1,35 @@
+# Development entry points. The bench-gate pair mirrors the CI job:
+# regenerate BENCH_BASELINE.json with `make bench-baseline` whenever a
+# PR intentionally shifts hot-path performance, and run `make
+# bench-gate` to check a working tree against it (see
+# internal/benchgate for the gate rules).
+
+GO      ?= go
+BENCHES  = $(GO) test -bench=. -benchtime=5x -benchmem -count=6 -run '^$$' .
+
+.PHONY: build test bench bench-baseline bench-gate fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(BENCHES)
+
+bench-baseline:
+	$(BENCHES) | tee BENCH_raw.txt
+	$(GO) run ./cmd/pimcaps-bench -bench-input BENCH_raw.txt -baseline BENCH_BASELINE.json -update-baseline
+	rm -f BENCH_raw.txt
+
+bench-gate:
+	$(BENCHES) | tee BENCH_raw.txt
+	$(GO) run ./cmd/pimcaps-bench -bench-input BENCH_raw.txt -baseline BENCH_BASELINE.json -check-baseline -out BENCH_pr.json
+	rm -f BENCH_raw.txt

@@ -165,6 +165,29 @@ func BenchmarkNetworkForward(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardArenaSteady measures the steady-state serving
+// regime: each pass releases its Output back to the network's scratch
+// pool, so after warmup the forward path reuses one arena and performs
+// zero heap allocations (-benchmem should report 0 allocs/op; the CI
+// bench gate pins that). BenchmarkNetworkForward, which never
+// releases, is the fresh-buffers-per-call comparison.
+func BenchmarkForwardArenaSteady(b *testing.B) {
+	net, err := capsnet.New(capsnet.TinyConfig(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := tensor.New(16, 1, 12, 12)
+	rng := rand.New(rand.NewSource(3))
+	for i := range batch.Data() {
+		batch.Data()[i] = rng.Float32()
+	}
+	net.Forward(batch, capsnet.ExactMath{}).Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(batch, capsnet.ExactMath{}).Release()
+	}
+}
+
 // BenchmarkGPUModel measures the analytical GPU model's evaluation
 // cost over the full suite.
 func BenchmarkGPUModel(b *testing.B) {

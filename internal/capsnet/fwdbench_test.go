@@ -40,7 +40,7 @@ func BenchmarkForwardSequential8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, img := range imgs {
-			net.ForwardBatch([][]float32{img}, ExactMath{})
+			net.ForwardBatch([][]float32{img}, ExactMath{}).Release()
 		}
 	}
 }
@@ -53,6 +53,6 @@ func BenchmarkForwardMicroBatch8(b *testing.B) {
 	net, imgs := serveBenchNet(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.ForwardBatch(imgs, ExactMath{})
+		net.ForwardBatch(imgs, ExactMath{}).Release()
 	}
 }

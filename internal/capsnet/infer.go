@@ -1,10 +1,6 @@
 package capsnet
 
-import (
-	"fmt"
-
-	"pimcapsnet/internal/tensor"
-)
+import "fmt"
 
 // ImageLen returns the flattened length of one input image
 // (Channels·H·W), the element count every inference entry point
@@ -19,24 +15,30 @@ func (n *Network) ImageLen() int {
 // requests shares one pass through conv/primary/routing.
 //
 // Concurrency: ForwardBatch (and Forward) only read layer weights and
-// allocate all scratch per call, so any number of goroutines may run
-// them concurrently on the same Network, provided nothing mutates the
-// weights at the same time (Trainer.TrainBatch does — training and
-// serving must not share a Network). Under RoutePerSample routing each
-// sample is processed independently, so results are bit-identical
-// regardless of how requests are grouped into batches.
+// work in a per-call scratch arena, so any number of goroutines may
+// run them concurrently on the same Network, provided nothing mutates
+// the weights at the same time (Trainer.TrainBatch does — training and
+// serving must not share a Network). Each concurrent call acquires its
+// own scratch from the pool (or builds one), so calls never share
+// buffers; release each call's Output when done to keep the pool —
+// and the allocation-free steady state — effective. Under
+// RoutePerSample routing each sample is processed independently, so
+// results are bit-identical regardless of how requests are grouped
+// into batches.
 func (n *Network) ForwardBatch(images [][]float32, mathOps RoutingMath) *Output {
 	if len(images) == 0 {
 		panic("capsnet: ForwardBatch needs at least one image")
 	}
 	imgLen := n.ImageLen()
-	batch := tensor.New(len(images), n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
-	bd := batch.Data()
 	for k, img := range images {
 		if len(img) != imgLen {
 			panic(fmt.Sprintf("capsnet: ForwardBatch image %d has %d pixels, want %d", k, len(img), imgLen))
 		}
-		copy(bd[k*imgLen:(k+1)*imgLen], img)
 	}
-	return n.Forward(batch, mathOps)
+	scr := n.acquireScratch(len(images))
+	for k, img := range images {
+		copy(scr.batch[k*imgLen:(k+1)*imgLen], img)
+	}
+	scr.in = scr.batch
+	return n.forward(scr, mathOps)
 }

@@ -1,0 +1,180 @@
+package capsnet
+
+// Range kernels for the routing procedure's three hot loops (Eq. 1
+// prediction vectors, Eq. 2+3 aggregation+squash, Eq. 4 agreement),
+// shared by the public DynamicRouting* entry points and the Network's
+// scratch-arena forward path. Each kernel is the verbatim loop body of
+// the original serial implementation restricted to a contiguous range
+// of its shard dimension, and every per-output-element accumulation
+// runs in the same order (d, then i or k ascending) regardless of how
+// the range is split — which is what keeps results bit-identical to
+// the serial loop under any B/H partitioning (see Partition).
+
+// aggregateSamplesRange performs Eq. 2 (s_j ← Σ_i c_ij·û_j|i) and
+// Eq. 3 (v_j ← squash(s_j)) for samples [klo, khi). sd must be
+// pre-zeroed for those samples. The multiply-accumulate loop ranges
+// over up with a capped sp slice: under this function's register
+// pressure a plain counted loop spills its induction variable to the
+// stack on every iteration, which costs ~45% on the whole kernel.
+func aggregateSamplesRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nl, nh, ch, klo, khi int) {
+	for k := klo; k < khi; k++ {
+		base := k * nl * nh * ch
+		sbase := k * nh * ch
+		crow := cd[k*nl*nh : (k+1)*nl*nh]
+		for i := 0; i < nl; i++ {
+			pbase := base + i*nh*ch
+			for j := 0; j < nh; j++ {
+				cij := crow[i*nh+j]
+				if cij == 0 {
+					continue
+				}
+				up := pd[pbase+j*ch : pbase+(j+1)*ch]
+				sp := sd[sbase+j*ch : sbase+(j+1)*ch : sbase+(j+1)*ch]
+				for d, u := range up[:len(sp)] {
+					sp[d] += cij * u
+				}
+			}
+		}
+		for j := 0; j < nh; j++ {
+			off := (k*nh + j) * ch
+			squashInto(mathOps, vd[off:off+ch], sd[off:off+ch])
+		}
+	}
+}
+
+// aggregateCapsRange performs the same Eq. 2+3 math for high-level
+// capsules [jlo, jhi) across all nb samples: per (k, j) the sum over i
+// still ascends, so values are bit-identical to the sample-sharded
+// kernel.
+func aggregateCapsRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nb, nl, nh, ch, jlo, jhi int) {
+	for k := 0; k < nb; k++ {
+		base := k * nl * nh * ch
+		sbase := k * nh * ch
+		crow := cd[k*nl*nh : (k+1)*nl*nh]
+		for i := 0; i < nl; i++ {
+			pbase := base + i*nh*ch
+			for j := jlo; j < jhi; j++ {
+				cij := crow[i*nh+j]
+				if cij == 0 {
+					continue
+				}
+				up := pd[pbase+j*ch : pbase+(j+1)*ch]
+				sp := sd[sbase+j*ch : sbase+(j+1)*ch : sbase+(j+1)*ch]
+				for d, u := range up[:len(sp)] {
+					sp[d] += cij * u
+				}
+			}
+		}
+		for j := jlo; j < jhi; j++ {
+			off := (k*nh + j) * ch
+			squashInto(mathOps, vd[off:off+ch], sd[off:off+ch])
+		}
+	}
+}
+
+// agreementSamplesRange performs Eq. 4 (b_ij ← b_ij + û_j|i·v_j) into
+// per-sample logit rows for samples [klo, khi).
+func agreementSamplesRange(pd, vd, bd []float32, nl, nh, ch, klo, khi int) {
+	for k := klo; k < khi; k++ {
+		base := k * nl * nh * ch
+		vbase := k * nh * ch
+		brow := bd[k*nl*nh : (k+1)*nl*nh]
+		for i := 0; i < nl; i++ {
+			pbase := base + i*nh*ch
+			for j := 0; j < nh; j++ {
+				up := pd[pbase+j*ch : pbase+(j+1)*ch]
+				vp := vd[vbase+j*ch : vbase+(j+1)*ch]
+				var dot float32
+				for d := 0; d < ch; d++ {
+					dot += up[d] * vp[d]
+				}
+				brow[i*nh+j] += dot
+			}
+		}
+	}
+}
+
+// agreementCapsRange performs Eq. 4 into per-sample logit rows for
+// high-level capsules [jlo, jhi) across all nb samples. Each (k, i, j)
+// entry receives exactly one increment, so the shard split cannot
+// change any value.
+func agreementCapsRange(pd, vd, bd []float32, nb, nl, nh, ch, jlo, jhi int) {
+	for k := 0; k < nb; k++ {
+		base := k * nl * nh * ch
+		vbase := k * nh * ch
+		brow := bd[k*nl*nh : (k+1)*nl*nh]
+		for i := 0; i < nl; i++ {
+			pbase := base + i*nh*ch
+			for j := jlo; j < jhi; j++ {
+				up := pd[pbase+j*ch : pbase+(j+1)*ch]
+				vp := vd[vbase+j*ch : vbase+(j+1)*ch]
+				var dot float32
+				for d := 0; d < ch; d++ {
+					dot += up[d] * vp[d]
+				}
+				brow[i*nh+j] += dot
+			}
+		}
+	}
+}
+
+// agreementSharedRange performs the batch-shared Eq. 4 (Alg. 1's Σ_k
+// over the whole input set) for capsules [jlo, jhi): every (i, j)
+// logit in the range accumulates its per-sample dots with k ascending,
+// exactly the order of the original serial loop, so sharding on H
+// preserves bit-identity even though all workers share one logit
+// matrix (their (i, j) ranges are disjoint).
+func agreementSharedRange(pd, vd, sharedB []float32, nb, nl, nh, ch, jlo, jhi int) {
+	for k := 0; k < nb; k++ {
+		base := k * nl * nh * ch
+		vbase := k * nh * ch
+		for i := 0; i < nl; i++ {
+			pbase := base + i*nh*ch
+			for j := jlo; j < jhi; j++ {
+				up := pd[pbase+j*ch : pbase+(j+1)*ch]
+				vp := vd[vbase+j*ch : vbase+(j+1)*ch]
+				var dot float32
+				for d := 0; d < ch; d++ {
+					dot += up[d] * vp[d]
+				}
+				sharedB[i*nh+j] += dot
+			}
+		}
+	}
+}
+
+// predictionVectorsRange computes Eq. 1 (û_j|i^k = u_i^k × W_ij) for
+// low-level capsules [lo, hi). zeroDst zeroes the range's output rows
+// first, for destinations that are reused arena buffers; pass false
+// when od is freshly allocated (the clear is a measurable memclr at
+// MNIST scale, so the fresh-tensor path must not pay it twice). The
+// weight row for each (i, j, d) streams across the whole batch (k
+// innermost), the W_ij data reuse that makes micro-batched serving
+// cheaper per request; per output element the accumulation over d
+// ascends, so results are bit-identical to a sample-at-a-time loop.
+func predictionVectorsRange(ud, wd, od []float32, nb, nl, cl, nh, ch, lo, hi int, zeroDst bool) {
+	for i := lo; i < hi; i++ {
+		if zeroDst {
+			for k := 0; k < nb; k++ {
+				clear(od[(k*nl+i)*nh*ch : (k*nl+i+1)*nh*ch])
+			}
+		}
+		wbase := i * nh * cl * ch
+		for j := 0; j < nh; j++ {
+			wm := wd[wbase+j*cl*ch : wbase+(j+1)*cl*ch]
+			for d := 0; d < cl; d++ {
+				wrow := wm[d*ch : (d+1)*ch]
+				for k := 0; k < nb; k++ {
+					uvd := ud[(k*nl+i)*cl+d]
+					if uvd == 0 {
+						continue
+					}
+					ov := od[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
+					for e := 0; e < ch; e++ {
+						ov[e] += uvd * wrow[e]
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"pimcapsnet/internal/tensor"
@@ -119,11 +120,32 @@ type Network struct {
 	// same). Timed results are bit-identical to untimed ones.
 	Stages StageTimer
 
+	// Partition pins the dimension the routing workload is sharded on
+	// across workers: PartitionAuto (the default) picks per run with
+	// the Eqs. 6–12-style execution-score model, PartitionB forces
+	// batch sharding, PartitionH forces high-level-capsule sharding.
+	// Results are bit-identical under every setting; only the
+	// work-to-worker assignment changes.
+	Partition Partition
+
 	convH, convW int // conv output spatial size
 
 	// fallbacks counts forward passes' per-sample exact-math routing
 	// re-runs triggered by the finite-value guard.
 	fallbacks atomic.Uint64
+
+	// Scratch-arena pool state (see arena.go): released scratches
+	// await reuse in scratchFree; pool holds the persistent chunk
+	// workers; the atomics feed the ArenaBytes / PartitionCounts
+	// gauges serving exposes.
+	scratchMu   sync.Mutex
+	scratchFree []*scratch
+	poolMu      sync.Mutex
+	pool        *workerPool
+	poolSpawned int
+	arenaFloats atomic.Uint64
+	partB       atomic.Uint64
+	partH       atomic.Uint64
 }
 
 // RoutingFallbacks returns how many samples' routing has been re-run
@@ -177,6 +199,10 @@ type Output struct {
 	// inputs themselves were corrupt); serving layers must fail these
 	// samples instead of emitting NaN probabilities.
 	NonFinite []int
+
+	// scr is the scratch arena backing every tensor above; Release
+	// returns it to the Network's pool (see arena.go).
+	scr *scratch
 }
 
 // Predictions returns the argmax class per batch element.
@@ -191,62 +217,75 @@ func (o *Output) Predictions() []int {
 
 // Forward runs the encoder on a batch of images (B×C×H×W) with the
 // given routing math.
+//
+// Every tensor the returned Output exposes is a view over a pooled
+// scratch arena owned by the Network; call Output.Release when done
+// with it to make the steady-state forward path allocation-free, or
+// simply keep the Output (and its buffers) by never releasing it.
 func (n *Network) Forward(batch *tensor.Tensor, mathOps RoutingMath) *Output {
 	if batch.Rank() != 4 {
 		panic(fmt.Sprintf("capsnet: Forward wants B×C×H×W, got %v", batch.Shape()))
 	}
-	nb := batch.Dim(0)
-	numL := n.NumPrimaryCaps()
-	u := tensor.New(nb, numL, n.Config.PrimaryDim)
-	imgLen := n.Config.InputChannels * n.Config.InputH * n.Config.InputW
+	scr := n.acquireScratch(batch.Dim(0))
+	scr.in = batch.Data()
+	return n.forward(scr, mathOps)
+}
+
+// forward is the scratch-arena forward core shared by Forward and
+// ForwardBatch: the input images are already bound at scr.in and every
+// intermediate lives in scr's arena. The computation — per-sample
+// conv/primary-caps work, Eq. 1 prediction vectors, the routing loop,
+// the finite guard, the ‖v_j‖ lengths — is stage-for-stage the one the
+// pre-arena path ran, with identical loop nests and accumulation
+// orders, so outputs are bit-identical; only buffer ownership changed.
+func (n *Network) forward(scr *scratch, mathOps RoutingMath) *Output {
+	scr.math = mathOps
+	scr.bind()
+	nb := scr.nb
 	st := n.Stages
 	if st == nil {
-		// Untimed fast path: conv and primary caps fused per sample, no
-		// batch-wide feature buffer.
-		parallelFor(nb, func(k int) {
-			img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
-			feat := n.Conv.Forward(img)
-			caps := n.Primary.Forward(feat) // numL×PrimaryDim
-			copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
-		})
+		// Untimed fast path: conv and primary caps fused per sample.
+		scr.runChunks(nb, scr.convPrimFn)
 	} else {
 		// Timed path: the same per-sample computations, split into two
 		// batch-wide stages so conv and primary-caps time can be
 		// attributed separately. Each sample's work and accumulation
 		// order are unchanged, so outputs stay bit-identical to the
 		// fused loop (TestStageTimerPreservesOutputs holds this).
-		feats := make([]*tensor.Tensor, nb)
 		end := beginStage(st, StageConv, -1)
-		parallelFor(nb, func(k int) {
-			img := tensor.FromSlice(batch.Data()[k*imgLen:(k+1)*imgLen], n.Config.InputChannels, n.Config.InputH, n.Config.InputW)
-			feats[k] = n.Conv.Forward(img)
-		})
+		scr.runChunks(nb, scr.convFn)
 		endStage(end)
 		end = beginStage(st, StagePrimaryCaps, -1)
-		parallelFor(nb, func(k int) {
-			caps := n.Primary.Forward(feats[k]) // numL×PrimaryDim
-			copy(u.Data()[k*numL*n.Config.PrimaryDim:(k+1)*numL*n.Config.PrimaryDim], caps.Data())
-		})
+		scr.runChunks(nb, scr.primFn)
 		endStage(end)
 	}
 	if hook := n.RoutingInputHook; hook != nil {
-		hook(u.Data())
+		hook(scr.uT.Data())
 	}
-	res := n.Digit.ForwardTimed(u, mathOps, st)
-	out := &Output{Capsules: res.V, Routing: res, Primary: u}
-	end := beginStage(st, StageFiniteGuard, -1)
-	n.finiteGuard(u, out, mathOps)
+	end := beginStage(st, StagePredictionVectors, -1)
+	scr.runChunks(n.Digit.NumIn, scr.predFn)
+	endStage(end)
+	scr.routing(st)
+	out := &scr.out
+	out.Capsules = scr.vT
+	out.Lengths = scr.lengthsT
+	out.Routing = RoutingResult{V: scr.vT, C: scr.cT, B: scr.bT}
+	out.Primary = scr.uT
+	out.ExactFallbacks = nil
+	out.NonFinite = nil
+	out.scr = scr
+	end = beginStage(st, StageFiniteGuard, -1)
+	n.finiteGuard(scr.uT, out, mathOps)
 	endStage(end)
 	end = beginStage(st, StageLengths, -1)
-	lengths := tensor.New(nb, n.Config.Classes)
+	nc, dd := n.Config.Classes, n.Config.DigitDim
 	for k := 0; k < nb; k++ {
-		for j := 0; j < n.Config.Classes; j++ {
-			off := (k*n.Config.Classes + j) * n.Config.DigitDim
-			lengths.Data()[k*n.Config.Classes+j] = tensor.Norm(res.V.Data()[off : off+n.Config.DigitDim])
+		for j := 0; j < nc; j++ {
+			off := (k*nc + j) * dd
+			scr.lengths[k*nc+j] = tensor.Norm(scr.v[off : off+dd])
 		}
 	}
 	endStage(end)
-	out.Lengths = lengths
 	return out
 }
 

@@ -41,14 +41,20 @@ func (b *panicBox) repanic() {
 // loop instead of a process crash.
 func parallelFor(n int, fn func(k int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	// Serial threshold: with fewer than two work items per worker
+	// (n < 2×GOMAXPROCS), goroutine launch + channel traffic costs
+	// more than the parallelism recovers and shows up as scheduler
+	// noise in capsnet_stage_seconds, so tiny fan-outs run inline.
+	// Callers already require fn to be order-independent (disjoint
+	// writes), so the serial loop computes identical results.
+	if workers <= 1 || n < 2*workers {
 		for k := 0; k < n; k++ {
 			fn(k)
 		}
 		return
+	}
+	if workers > n {
+		workers = n
 	}
 	// The channel is buffered for all n items and filled before any
 	// worker starts, so the dispatcher never serializes on a blocking

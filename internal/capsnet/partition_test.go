@@ -1,0 +1,92 @@
+package capsnet
+
+import "testing"
+
+func TestPartitionString(t *testing.T) {
+	cases := map[Partition]string{
+		PartitionAuto:  "auto",
+		PartitionB:     "batch",
+		PartitionH:     "hcaps",
+		Partition(999): "Partition(999)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Partition(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestChoosePartitionForced(t *testing.T) {
+	// Explicit settings pass through untouched, whatever the shape.
+	if got := choosePartition(PartitionB, 1, 1152, 10, 16, 8); got != PartitionB {
+		t.Fatalf("forced B resolved to %v", got)
+	}
+	if got := choosePartition(PartitionH, 64, 1152, 10, 16, 8); got != PartitionH {
+		t.Fatalf("forced H resolved to %v", got)
+	}
+}
+
+func TestChoosePartitionDegenerate(t *testing.T) {
+	// A single worker or an empty shape has nothing to shard; B is the
+	// neutral answer (the serial loop).
+	if got := choosePartition(PartitionAuto, 64, 1152, 10, 16, 1); got != PartitionB {
+		t.Fatalf("1 worker: %v", got)
+	}
+	if got := choosePartition(PartitionAuto, 0, 1152, 10, 16, 8); got != PartitionB {
+		t.Fatalf("nb=0: %v", got)
+	}
+	if got := choosePartition(PartitionAuto, 4, 1152, 0, 16, 8); got != PartitionB {
+		t.Fatalf("nh=0: %v", got)
+	}
+}
+
+func TestChoosePartitionCostModel(t *testing.T) {
+	// The execution score is the slowest worker's MAC load
+	// (ceil(N/W)·rest, Eqs. 6–12 shape) plus a movement term that
+	// charges H-sharding 4/3 for its strided accesses.
+	cases := []struct {
+		name               string
+		nb, nl, nh, ch, wk int
+		want               Partition
+	}{
+		// Throughput batches: B divides evenly across workers and the
+		// movement term favors contiguous per-sample rows.
+		{"mnist-batch16", 16, 1152, 10, 16, 8, PartitionB},
+		{"mnist-batch64", 64, 1152, 10, 16, 4, PartitionB},
+		// Batch-1 latency: B-sharding leaves W-1 workers idle
+		// (ceil(1/W)=1, the whole sample on one worker) while
+		// H-sharding splits the 10 digit capsules — the paper's
+		// Table 2 reason to shard H when B is degenerate.
+		{"mnist-batch1", 1, 1152, 10, 16, 8, PartitionH},
+		{"batch2-many-workers", 2, 1152, 10, 16, 8, PartitionH},
+		// When B ≥ workers again, B wins back.
+		{"batch8-8workers", 8, 1152, 10, 16, 8, PartitionB},
+	}
+	for _, c := range cases {
+		if got := choosePartition(PartitionAuto, c.nb, c.nl, c.nh, c.ch, c.wk); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestChoosePartitionMatchesScoreFormula(t *testing.T) {
+	// Exhaustively check the selection equals the documented formula
+	// over a small shape grid, so the implementation can't drift from
+	// the DESIGN.md description.
+	for _, nb := range []int{1, 2, 3, 7, 16} {
+		for _, nh := range []int{1, 5, 10, 33} {
+			for _, wk := range []int{2, 3, 8} {
+				nl, ch := 64, 16
+				execB := ceilDiv(nb, wk) * nl * nh * ch
+				execH := nb * nl * ceilDiv(nh, wk) * ch
+				want := PartitionH
+				if execB+execB <= execH+execH*4/3 {
+					want = PartitionB
+				}
+				if got := choosePartition(PartitionAuto, nb, nl, nh, ch, wk); got != want {
+					t.Errorf("nb=%d nh=%d wk=%d: got %v, want %v", nb, nh, wk, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package capsnet
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count tests skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -2,6 +2,7 @@ package capsnet
 
 import (
 	"fmt"
+	"runtime"
 
 	"pimcapsnet/internal/tensor"
 )
@@ -98,6 +99,13 @@ func DynamicRoutingTimed(preds *tensor.Tensor, iterations int, mathOps RoutingMa
 	// sharedB aliases sample 0's logits when coefficients are shared.
 	sharedB := bd[:nl*nh]
 
+	// Pick the shard dimension once per routing run with the paper's
+	// execution-score model and surface it as a zero-duration marker
+	// stage (iteration = the chosen Partition value) so stage traces
+	// record which way the workload was split.
+	dim := choosePartition(PartitionAuto, nb, nl, nh, ch, runtime.GOMAXPROCS(0))
+	endStage(beginStage(timer, StageRoutingPartition, int(dim)))
+
 	for it := 0; it < iterations; it++ {
 		iterEnd := beginStage(timer, StageRoutingIteration, it)
 
@@ -116,36 +124,21 @@ func DynamicRoutingTimed(preds *tensor.Tensor, iterations int, mathOps RoutingMa
 		endStage(end)
 
 		// Step 5 (Eq. 2) + Step 6 (Eq. 3): weighted aggregation over L
-		// capsules and squash, parallel over the batch (each k writes
-		// disjoint s/v slices, so results are identical to the serial
-		// loop).
+		// capsules and squash, sharded contiguously on the chosen
+		// dimension (workers write disjoint s/v regions and every
+		// accumulation order is unchanged, so results are identical to
+		// the serial loop — see kernels.go).
 		end = beginStage(timer, StageRoutingAggregate, it)
-		for i := range sd {
-			sd[i] = 0
+		clear(sd)
+		if dim == PartitionB {
+			parallelChunks(nb, maxWorkers(nb), func(_, lo, hi int) {
+				aggregateSamplesRange(mathOps, pd, cd, sd, vd, nl, nh, ch, lo, hi)
+			})
+		} else {
+			parallelChunks(nh, maxWorkers(nh), func(_, lo, hi int) {
+				aggregateCapsRange(mathOps, pd, cd, sd, vd, nb, nl, nh, ch, lo, hi)
+			})
 		}
-		parallelFor(nb, func(k int) {
-			base := k * nl * nh * ch
-			sbase := k * nh * ch
-			crow := cd[k*nl*nh : (k+1)*nl*nh]
-			for i := 0; i < nl; i++ {
-				pbase := base + i*nh*ch
-				for j := 0; j < nh; j++ {
-					cij := crow[i*nh+j]
-					if cij == 0 {
-						continue
-					}
-					up := pd[pbase+j*ch : pbase+(j+1)*ch]
-					sp := sd[sbase+j*ch : sbase+(j+1)*ch]
-					for d := 0; d < ch; d++ {
-						sp[d] += cij * up[d]
-					}
-				}
-			}
-			for j := 0; j < nh; j++ {
-				off := (k*nh + j) * ch
-				squashInto(mathOps, vd[off:off+ch], sd[off:off+ch])
-			}
-		})
 		endStage(end)
 
 		if it == iterations-1 {
@@ -154,36 +147,28 @@ func DynamicRoutingTimed(preds *tensor.Tensor, iterations int, mathOps RoutingMa
 		}
 
 		// Step 7 (Eq. 4): agreement accumulation. Per-sample mode
-		// writes disjoint logit rows and parallelizes; the paper's
-		// batch-shared Σ_k accumulates into one matrix and stays
-		// serial for determinism.
+		// shards either dimension freely (disjoint logit entries); the
+		// paper's batch-shared Σ_k accumulates into one matrix, which
+		// B-sharding would reorder, so it runs serial under PartitionB
+		// and shards the disjoint (i, j) entries under PartitionH with
+		// k ascending per entry — bit-identical either way.
 		end = beginStage(timer, StageRoutingAgreement, it)
-		agree := func(k int) {
-			base := k * nl * nh * ch
-			vbase := k * nh * ch
-			brow := bd[k*nl*nh : (k+1)*nl*nh]
-			if mode == RouteBatchShared {
-				brow = sharedB
-			}
-			for i := 0; i < nl; i++ {
-				pbase := base + i*nh*ch
-				for j := 0; j < nh; j++ {
-					up := pd[pbase+j*ch : pbase+(j+1)*ch]
-					vp := vd[vbase+j*ch : vbase+(j+1)*ch]
-					var dot float32
-					for d := 0; d < ch; d++ {
-						dot += up[d] * vp[d]
-					}
-					brow[i*nh+j] += dot
-				}
-			}
-		}
 		if mode == RouteBatchShared {
-			for k := 0; k < nb; k++ {
-				agree(k)
+			if dim == PartitionB {
+				agreementSharedRange(pd, vd, sharedB, nb, nl, nh, ch, 0, nh)
+			} else {
+				parallelChunks(nh, maxWorkers(nh), func(_, lo, hi int) {
+					agreementSharedRange(pd, vd, sharedB, nb, nl, nh, ch, lo, hi)
+				})
 			}
+		} else if dim == PartitionB {
+			parallelChunks(nb, maxWorkers(nb), func(_, lo, hi int) {
+				agreementSamplesRange(pd, vd, bd, nl, nh, ch, lo, hi)
+			})
 		} else {
-			parallelFor(nb, agree)
+			parallelChunks(nh, maxWorkers(nh), func(_, lo, hi int) {
+				agreementCapsRange(pd, vd, bd, nb, nl, nh, ch, lo, hi)
+			})
 		}
 		endStage(end)
 		endStage(iterEnd)
@@ -213,32 +198,16 @@ func PredictionVectors(u, w *tensor.Tensor) *tensor.Tensor {
 	nh, ch := w.Dim(1), w.Dim(3)
 	out := tensor.New(nb, nl, nh, ch)
 	ud, wd, od := u.Data(), w.Data(), out.Data()
-	// Parallelize over the L capsules and keep the batch loop
+	// Shard contiguously over the L capsules and keep the batch loop
 	// innermost: each weight row is then streamed once per batch
 	// instead of once per sample, which is the data reuse that makes
 	// micro-batched serving cheaper per request (the paper's W_ij
-	// reuse across the input set). Per sample the accumulation order
-	// over d is unchanged, so results stay bit-identical to the
-	// sample-at-a-time loop, and each (k, i) output row is written by
-	// exactly one worker.
-	parallelFor(nl, func(i int) {
-		wbase := i * nh * cl * ch
-		for j := 0; j < nh; j++ {
-			wm := wd[wbase+j*cl*ch : wbase+(j+1)*cl*ch]
-			for d := 0; d < cl; d++ {
-				wrow := wm[d*ch : (d+1)*ch]
-				for k := 0; k < nb; k++ {
-					uvd := ud[(k*nl+i)*cl+d]
-					if uvd == 0 {
-						continue
-					}
-					ov := od[((k*nl+i)*nh+j)*ch : ((k*nl+i)*nh+j+1)*ch]
-					for e := 0; e < ch; e++ {
-						ov[e] += uvd * wrow[e]
-					}
-				}
-			}
-		}
+	// reuse across the input set, the L-dimension row of Table 2). Per
+	// sample the accumulation order over d is unchanged, so results
+	// stay bit-identical to the sample-at-a-time loop, and each (k, i)
+	// output row is written by exactly one worker.
+	parallelChunks(nl, maxWorkers(nl), func(_, lo, hi int) {
+		predictionVectorsRange(ud, wd, od, nb, nl, cl, nh, ch, lo, hi, false)
 	})
 	return out
 }

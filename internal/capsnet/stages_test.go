@@ -44,10 +44,18 @@ func TestStageTimerSequence(t *testing.T) {
 	}
 	net.Forward(batch, ExactMath{})
 
+	// The routing_partition marker's iteration argument is the resolved
+	// Partition value, which depends on GOMAXPROCS — check the name but
+	// accept either shard dimension.
+	partIter := PartitionB
+	if len(ft.calls) > 3 && ft.calls[3].stage == StageRoutingPartition && ft.calls[3].iter == int(PartitionH) {
+		partIter = PartitionH
+	}
 	want := []stageCall{
 		{StageConv, -1, true},
 		{StagePrimaryCaps, -1, true},
 		{StagePredictionVectors, -1, true},
+		{StageRoutingPartition, int(partIter), true},
 	}
 	iters := net.Config.RoutingIterations
 	for it := 0; it < iters; it++ {

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/capsnet"
+)
+
+// TestArenaAndPartitionMetrics checks the serving stack surfaces the
+// allocation-free forward path: after classifications, /metrics
+// reports a non-zero capsnet_arena_bytes gauge (the network holds its
+// pooled scratch arenas) and capsnet_routing_partition_total counters
+// that account for every routing run.
+func TestArenaAndPartitionMetrics(t *testing.T) {
+	network, images := testNetwork(t, 3)
+	srv, err := New(network, capsnet.ExactMath{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		resp, _ := postClassify(t, ts.URL, images[i%len(images)])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	values := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, name := range []string{
+			"capsnet_arena_bytes",
+			`capsnet_routing_partition_total{dim="batch"}`,
+			`capsnet_routing_partition_total{dim="hcaps"}`,
+		} {
+			if strings.HasPrefix(line, name+" ") {
+				v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+				if err != nil {
+					t.Fatalf("unparseable %s line %q: %v", name, line, err)
+				}
+				values[name] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := values["capsnet_arena_bytes"]; !ok || v <= 0 {
+		t.Errorf("capsnet_arena_bytes = %v, want > 0 (pooled scratch arenas live)", v)
+	}
+	runs := values[`capsnet_routing_partition_total{dim="batch"}`] +
+		values[`capsnet_routing_partition_total{dim="hcaps"}`]
+	if runs == 0 {
+		t.Error("capsnet_routing_partition_total counters account for no routing runs")
+	}
+	// Every routing run was sharded exactly one way, so the counters
+	// must sum to the forward-pass count, which is the batch count.
+	if batches := float64(srv.Metrics().Batches()); runs != batches {
+		t.Errorf("partition counters sum to %v runs, want %v (batches launched)", runs, batches)
+	}
+
+	// The routing_partition marker stage must be visible in the stage
+	// histograms like every other forward stage.
+	if srv.Metrics().StageHistogram(capsnet.StageRoutingPartition).Count() == 0 {
+		t.Error("routing_partition marker stage has no observations")
+	}
+}

@@ -195,6 +195,16 @@ type Metrics struct {
 
 	// QueueDepth is sampled at scrape time from the admission queue.
 	QueueDepth func() int
+
+	// ArenaBytes is sampled at scrape time from the network's
+	// scratch-arena pool (capsnet.Network.ArenaBytes): the bytes the
+	// allocation-free forward path holds resident.
+	ArenaBytes func() uint64
+
+	// PartitionCounts is sampled at scrape time from the network
+	// (capsnet.Network.PartitionCounts): how many routing runs sharded
+	// on the batch dimension vs the high-level-capsule dimension.
+	PartitionCounts func() (batch, hcaps uint64)
 }
 
 // responseCodesArray is the fixed set of status codes the server
@@ -312,6 +322,17 @@ func (m *Metrics) WriteText(w io.Writer) {
 		depth = m.QueueDepth()
 	}
 	fmt.Fprintf(w, "capsnet_queue_depth %d\n", depth)
+	var arenaBytes uint64
+	if m.ArenaBytes != nil {
+		arenaBytes = m.ArenaBytes()
+	}
+	fmt.Fprintf(w, "capsnet_arena_bytes %d\n", arenaBytes)
+	var partB, partH uint64
+	if m.PartitionCounts != nil {
+		partB, partH = m.PartitionCounts()
+	}
+	fmt.Fprintf(w, "capsnet_routing_partition_total{dim=\"batch\"} %d\n", partB)
+	fmt.Fprintf(w, "capsnet_routing_partition_total{dim=\"hcaps\"} %d\n", partH)
 	fmt.Fprintf(w, "capsnet_batches_total %d\n", m.batches.Load())
 	fmt.Fprintf(w, "capsnet_routing_iterations_total %d\n", m.routingIters.Load())
 	fmt.Fprintf(w, "capsnet_request_traces_total %d\n", m.tracesTotal.Load())

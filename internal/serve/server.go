@@ -94,6 +94,11 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 	}
 	run := func(images [][]float32) []Prediction {
 		out := network.ForwardBatch(images, mathOps)
+		// Everything the response needs is copied out below, so the
+		// Output's scratch arena goes back to the network's pool as soon
+		// as this function returns — the step that keeps steady-state
+		// inference allocation-free.
+		defer out.Release()
 		nc, dd := network.Config.Classes, network.Config.DigitDim
 		preds := make([]Prediction, len(images))
 		classes := out.Predictions()
@@ -134,6 +139,10 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 	})
 	network.Stages = rec
 	b.rec = rec
+	// Scrape-time gauges over the network's scratch-arena pool and the
+	// routing partition choices (callback pattern, like QueueDepth).
+	m.ArenaBytes = network.ArenaBytes
+	m.PartitionCounts = network.PartitionCounts
 	s := newServer(network, cfg, b, m)
 	b.Start()
 	return s, nil

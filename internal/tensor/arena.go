@@ -1,0 +1,57 @@
+package tensor
+
+import "fmt"
+
+// Arena is a bump allocator over one contiguous float32 slab. It
+// exists so a hot path can size all of its scratch buffers once, carve
+// them out of a single allocation, and reuse them forever: the CapsNet
+// forward pass binds every per-call tensor (prediction vectors,
+// routing logits and couplings, votes, conv im2col columns) to arena
+// slices, which is what takes its steady-state heap allocations to
+// zero — the software analogue of the on-chip buffer management that
+// CapsAcc/DESCNet-style accelerators use for data reuse.
+//
+// An Arena is not safe for concurrent Alloc calls; carve buffers up
+// front, then share the carved slices as the caller's own locking
+// discipline allows.
+type Arena struct {
+	buf []float32
+	off int
+}
+
+// NewArena returns an arena over a fresh slab of n float32s.
+func NewArena(n int) *Arena {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative arena size %d", n))
+	}
+	return &Arena{buf: make([]float32, n)}
+}
+
+// Alloc carves the next n float32s out of the slab. The returned slice
+// has capacity exactly n (a three-index slice), so an accidental
+// append cannot bleed into a neighbouring buffer. It panics when the
+// slab is exhausted — arena consumers size the slab exactly, so
+// exhaustion is a sizing bug, not a runtime condition.
+func (a *Arena) Alloc(n int) []float32 {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative arena alloc %d", n))
+	}
+	if a.off+n > len(a.buf) {
+		panic(fmt.Sprintf("tensor: arena exhausted (%d of %d used, want %d more)", a.off, len(a.buf), n))
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Reset rewinds the arena so the slab can be carved again. Previously
+// returned slices keep aliasing the slab; Reset is for consumers that
+// re-plan their whole layout (e.g. growing to a larger batch).
+func (a *Arena) Reset() { a.off = 0 }
+
+// Size returns the slab length in float32s.
+func (a *Arena) Size() int { return len(a.buf) }
+
+// Used returns how many float32s have been carved since the last
+// Reset.
+func (a *Arena) Used() int { return a.off }

@@ -31,6 +31,40 @@ func (s ConvSpec) Validate() error {
 	return nil
 }
 
+// Im2ColInto lowers a flattened Cin×h×w input into cols, which must
+// have length (oh*ow)·(Cin·K·K). It is the allocation-free kernel
+// behind Im2Col: callers on the hot path pass an arena-carved cols
+// buffer and reuse it across samples.
+func Im2ColInto(cols, input []float32, spec ConvSpec, h, w int) {
+	cin := spec.Cin
+	if len(input) != cin*h*w {
+		panic(fmt.Sprintf("tensor: Im2ColInto input length %d, want %d×%d×%d", len(input), cin, h, w))
+	}
+	oh, ow := spec.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColInto kernel %d does not fit %dx%d input", spec.K, h, w))
+	}
+	if len(cols) != oh*ow*cin*spec.K*spec.K {
+		panic(fmt.Sprintf("tensor: Im2ColInto cols length %d, want %d", len(cols), oh*ow*cin*spec.K*spec.K))
+	}
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			base := row * cin * spec.K * spec.K
+			p := 0
+			for c := 0; c < cin; c++ {
+				chOff := c * h * w
+				for ky := 0; ky < spec.K; ky++ {
+					srcOff := chOff + (oy*spec.Stride+ky)*w + ox*spec.Stride
+					copy(cols[base+p:base+p+spec.K], input[srcOff:srcOff+spec.K])
+					p += spec.K
+				}
+			}
+			row++
+		}
+	}
+}
+
 // Im2Col lowers input (Cin×H×W) into a matrix of shape
 // (oh*ow) × (Cin*K*K) so convolution becomes a matrix multiply.
 func Im2Col(input *Tensor, spec ConvSpec) *Tensor {
@@ -46,25 +80,45 @@ func Im2Col(input *Tensor, spec ConvSpec) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col kernel %d does not fit %dx%d input", spec.K, h, w))
 	}
 	cols := New(oh*ow, cin*spec.K*spec.K)
-	cd := cols.data
-	id := input.data
-	row := 0
-	for oy := 0; oy < oh; oy++ {
-		for ox := 0; ox < ow; ox++ {
-			base := row * cin * spec.K * spec.K
-			p := 0
-			for c := 0; c < cin; c++ {
-				chOff := c * h * w
-				for ky := 0; ky < spec.K; ky++ {
-					srcOff := chOff + (oy*spec.Stride+ky)*w + ox*spec.Stride
-					copy(cd[base+p:base+p+spec.K], id[srcOff:srcOff+spec.K])
-					p += spec.K
-				}
+	Im2ColInto(cols.data, input.data, spec, h, w)
+	return cols
+}
+
+// Conv2DInto convolves a flattened Cin×h×w input with weights
+// (Cout·(Cin·K·K), row-major) and per-output-channel bias, writing the
+// Cout×oh×ow result into dst. cols is the im2col scratch, length
+// (oh*ow)·(Cin·K·K). Every element of dst is overwritten. The loop
+// order is identical to Conv2D, so results are bit-identical; the only
+// difference is that the caller owns (and reuses) both buffers.
+func Conv2DInto(dst, cols, input, weights, bias []float32, spec ConvSpec, h, w int) {
+	oh, ow := spec.OutSize(h, w)
+	n := oh * ow
+	kk := spec.Cin * spec.K * spec.K
+	if len(weights) != spec.Cout*kk {
+		panic(fmt.Sprintf("tensor: Conv2DInto weights length %d, want %d", len(weights), spec.Cout*kk))
+	}
+	if len(dst) != spec.Cout*n {
+		panic(fmt.Sprintf("tensor: Conv2DInto dst length %d, want %d", len(dst), spec.Cout*n))
+	}
+	if bias != nil && len(bias) != spec.Cout {
+		panic(fmt.Sprintf("tensor: Conv2DInto bias length %d, want %d", len(bias), spec.Cout))
+	}
+	Im2ColInto(cols, input, spec, h, w)
+	for co := 0; co < spec.Cout; co++ {
+		wrow := weights[co*kk : (co+1)*kk]
+		out := dst[co*n : (co+1)*n]
+		for r := 0; r < n; r++ {
+			crow := cols[r*kk : (r+1)*kk]
+			var s float32
+			for j, v := range crow {
+				s += v * wrow[j]
 			}
-			row++
+			if bias != nil {
+				s += bias[co]
+			}
+			out[r] = s
 		}
 	}
-	return cols
 }
 
 // Conv2D convolves input (Cin×H×W) with weights (Cout × Cin*K*K) and
@@ -76,29 +130,16 @@ func Conv2D(input, weights *Tensor, bias []float32, spec ConvSpec) *Tensor {
 	if weights.Rank() != 2 || weights.Dim(0) != spec.Cout || weights.Dim(1) != spec.Cin*spec.K*spec.K {
 		panic(fmt.Sprintf("tensor: Conv2D weights %v, want [%d %d]", weights.Shape(), spec.Cout, spec.Cin*spec.K*spec.K))
 	}
-	if bias != nil && len(bias) != spec.Cout {
-		panic(fmt.Sprintf("tensor: Conv2D bias length %d, want %d", len(bias), spec.Cout))
+	if input.Rank() != 3 || input.Dim(0) != spec.Cin {
+		panic(fmt.Sprintf("tensor: Conv2D input %v, want [%d H W]", input.Shape(), spec.Cin))
 	}
 	h, w := input.Dim(1), input.Dim(2)
 	oh, ow := spec.OutSize(h, w)
-	cols := Im2Col(input, spec) // (oh*ow) × (Cin*K*K)
-	out := New(spec.Cout, oh, ow)
-	n := oh * ow
-	kk := spec.Cin * spec.K * spec.K
-	for co := 0; co < spec.Cout; co++ {
-		wrow := weights.data[co*kk : (co+1)*kk]
-		dst := out.data[co*n : (co+1)*n]
-		for r := 0; r < n; r++ {
-			crow := cols.data[r*kk : (r+1)*kk]
-			var s float32
-			for j, v := range crow {
-				s += v * wrow[j]
-			}
-			if bias != nil {
-				s += bias[co]
-			}
-			dst[r] = s
-		}
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D kernel %d does not fit %dx%d input", spec.K, h, w))
 	}
+	cols := make([]float32, oh*ow*spec.Cin*spec.K*spec.K)
+	out := New(spec.Cout, oh, ow)
+	Conv2DInto(out.data, cols, input.data, weights.data, bias, spec, h, w)
 	return out
 }

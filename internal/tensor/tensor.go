@@ -91,6 +91,32 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// Reuse rebinds t in place to the given backing slice and shape,
+// without allocating: the shape is copied into t's existing shape
+// array when the rank is unchanged (the steady-state case for scratch
+// arenas that re-bind views every forward pass). The slice is used
+// directly, not copied. It panics if len(data) does not match the
+// shape volume. Returns t for chaining.
+func (t *Tensor) Reuse(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// The message deliberately omits the shape slice: formatting
+			// it would make the variadic argument escape and put an
+			// allocation on every (non-panicking) call — Reuse sits on
+			// the allocation-free forward path.
+			panic("tensor: negative dimension in Reuse shape")
+		}
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: Reuse shape needs %d elements, got %d", n, len(data)))
+	}
+	t.data = data
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
 // Reshape returns a tensor sharing t's storage with a new shape of the
 // same volume. It panics on a volume mismatch.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
