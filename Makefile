@@ -7,7 +7,7 @@
 GO      ?= go
 BENCHES  = $(GO) test -bench=. -benchtime=5x -benchmem -count=6 -run '^$$' .
 
-.PHONY: build test bench bench-baseline bench-gate fmt vet
+.PHONY: build test bench bench-baseline bench-gate fmt vet lint
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis pass: the stock go vet checks plus the
+# project's own invariant suite (cmd/pimcaps-vet; see DESIGN.md for
+# the invariant table and the //lint:ignore suppression syntax).
+lint: vet
+	$(GO) run ./cmd/pimcaps-vet ./...
 
 bench:
 	$(BENCHES)

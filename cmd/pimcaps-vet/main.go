@@ -1,0 +1,118 @@
+// Command pimcaps-vet is the repository's multichecker: it runs the
+// project-specific analyzer suite (internal/analysis) over the
+// packages matched by its arguments, exactly as `go vet` would run its
+// own checks. The analyzers mechanically enforce the invariants the
+// architecture depends on: scratch-arena Outputs are always released,
+// the import DAG stays layered, annotated hot-path functions stay
+// allocation-free, floats are never ==-compared outside bit-exact
+// contexts, and the worker pool keeps its panic-isolation wrapper.
+//
+// Usage:
+//
+//	pimcaps-vet [-json] [packages]          # default packages: ./...
+//	pimcaps-vet -analyzers a,b [packages]   # run a subset of the suite
+//	pimcaps-vet -list                       # list the suite
+//	... | pimcaps-vet -annotate             # JSON findings -> GitHub annotations
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a
+// load or usage error. Suppress single findings with
+// `//lint:ignore pimcaps/<analyzer> reason` (same line or the line
+// above); see DESIGN.md for the invariant table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimcapsnet/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array instead of vet-style lines")
+		annotate  = flag.Bool("annotate", false, "read JSON findings from stdin and emit GitHub Actions error annotations")
+		listSuite = flag.Bool("list", false, "list the analyzers in the suite and exit")
+		only      = flag.String("analyzers", "", "comma-separated analyzer names to run (default: the full suite)")
+	)
+	flag.Parse()
+
+	if *listSuite {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%s%s: %s\n", analysis.IgnorePrefix, a.Name, a.Doc)
+		}
+		return
+	}
+	if *annotate {
+		os.Exit(runAnnotate())
+	}
+	suite := analysis.Suite()
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pimcaps-vet: unknown analyzer %q (run -list for the suite)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.RunPatterns("", suite, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimcaps-vet:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "pimcaps-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runAnnotate converts a JSON findings array (as produced by -json)
+// into GitHub Actions workflow commands so CI failures surface as
+// inline annotations on the PR diff. It re-prints the vet-style lines
+// too, so the job log stays readable, and exits 1 if any finding came
+// through — letting `pimcaps-vet -json ./... | pimcaps-vet -annotate`
+// fail the job under pipefail even though the formatter is last.
+func runAnnotate() int {
+	var findings []analysis.Finding
+	if err := json.NewDecoder(os.Stdin).Decode(&findings); err != nil {
+		fmt.Fprintln(os.Stderr, "pimcaps-vet -annotate: decoding stdin:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=%s%s::%s\n",
+			f.File, f.Line, f.Col, analysis.IgnorePrefix, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -54,6 +54,7 @@ func main() {
 	// Reconstruction of the predicted class capsule — the decoder
 	// output a reviewer would inspect.
 	out := net.Forward(test.Images, capsnet.ExactMath{})
+	defer out.Release()
 	pred := out.Predictions()[0]
 	recon := net.Reconstruct(out, 0, pred)
 	var mse float32

@@ -27,6 +27,9 @@ func main() {
 		fmt.Printf("  class %d: %.3f\n", j, l)
 	}
 	fmt.Printf("predictions for 8 untrained inputs: %v\n\n", out.Predictions())
+	// Hand the scratch arena back to the network's pool — the contract
+	// every Forward caller owes (pimcaps-vet's releasecheck enforces it).
+	out.Release()
 
 	// --- 2. The same routing procedure, evaluated as an architecture. ---
 	b, _ := workload.ByName("Caps-MN1")

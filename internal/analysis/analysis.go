@@ -1,0 +1,260 @@
+// Package analysis is a self-contained single-pass analyzer framework
+// in the mold of golang.org/x/tools/go/analysis, built on the standard
+// library only (this repository vendors no modules and builds offline,
+// so the x/tools dependency is deliberately absent — see DESIGN.md).
+// It exists to turn the repository's load-bearing conventions — every
+// capsnet.Output is released, the import DAG stays layered, the
+// hot-path kernels stay allocation-free, floats are never compared
+// with == outside bit-exact contexts, and the worker-pool panic
+// contract holds — into compiler-grade checks that run on every PR via
+// cmd/pimcaps-vet.
+//
+// The shape mirrors x/tools deliberately: an Analyzer owns a name, a
+// doc string, and a Run function over a Pass; a Pass exposes the
+// package's syntax, type information, and a Reportf sink. Should the
+// dependency ever become available, porting an analyzer is a
+// mechanical substitution of import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in suppression
+	// directives, always spelled with the pimcaps/ namespace prefix in
+	// user-facing text (e.g. pimcaps/releasecheck).
+	Name string
+	// Doc states the invariant the analyzer enforces and why it exists.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one package's worth of material to an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the parsed syntax trees: the package's GoFiles plus,
+	// for augmented test passes, its in-package _test.go files.
+	Files []*ast.File
+	// Pkg and TypesInfo hold the fully type-checked package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// IsProjectPkg reports whether an import path belongs to this
+	// project (as opposed to the standard library). The driver supplies
+	// the module-prefix test; the analysistest harness supplies a
+	// testdata-root test, so layer rules behave identically in both.
+	IsProjectPkg func(path string) bool
+
+	testFiles   map[*ast.File]bool
+	diagnostics []Diagnostic
+}
+
+// IsTestFile reports whether f came from a _test.go source, for
+// analyzers whose invariants exempt test code (tests may hold Outputs
+// unreleased or panic inside worker bodies on purpose).
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// IgnorePrefix is the check namespace accepted by suppression
+// directives: //lint:ignore pimcaps/<name> reason.
+const IgnorePrefix = "pimcaps/"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	names  map[string]bool // analyzer names (without the pimcaps/ prefix); nil means malformed
+	line   int             // line the directive suppresses
+	pos    token.Pos
+	reason string
+	used   bool
+}
+
+// suppressions indexes every ignore directive in a set of files.
+type suppressions struct {
+	fset       *token.FileSet
+	directives []*ignoreDirective
+	byLine     map[string]map[int][]*ignoreDirective // file -> line -> directives
+}
+
+// parseSuppressions collects //lint:ignore directives from files. A
+// directive written on its own line suppresses findings on the next
+// line; a directive trailing code suppresses findings on its own line.
+// The directive must name at least one pimcaps/<analyzer> check and
+// carry a non-empty reason; malformed directives are themselves
+// reported by the driver so a typo cannot silently disable a check.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byLine: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), line: pos.Line}
+				if !directiveTrailsCode(fset, f, c) {
+					d.line++ // whole-line directive guards the next line
+				}
+				checks, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				d.reason = strings.TrimSpace(reason)
+				names := map[string]bool{}
+				for _, check := range strings.Split(checks, ",") {
+					if name, ok := strings.CutPrefix(check, IgnorePrefix); ok && name != "" {
+						names[name] = true
+					}
+				}
+				if len(names) == 0 {
+					// Not aimed at this tool (e.g. a staticcheck ignore):
+					// leave it alone entirely.
+					continue
+				}
+				if d.reason == "" {
+					// pimcaps directive with no justification: malformed.
+					s.directives = append(s.directives, d)
+					continue
+				}
+				d.names = names
+				s.directives = append(s.directives, d)
+				byLine := s.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*ignoreDirective{}
+					s.byLine[pos.Filename] = byLine
+				}
+				byLine[d.line] = append(byLine[d.line], d)
+			}
+		}
+	}
+	return s
+}
+
+// directiveTrailsCode reports whether comment c shares its line with
+// code (making it a same-line suppression rather than a next-line one).
+func directiveTrailsCode(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	trails := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trails {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if fset.Position(n.Pos()).Line > line || fset.Position(n.End()).Line < line {
+			return false // subtree cannot touch the directive's line
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == line {
+			trails = true
+			return false
+		}
+		return true
+	})
+	return trails
+}
+
+// filter removes suppressed diagnostics, marks the directives that
+// earned their keep, and appends a diagnostic for every malformed or
+// unused directive (mirroring staticcheck, a suppression that matches
+// nothing is itself an error — stale ignores hide future regressions).
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := s.fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range s.byLine[pos.Filename][pos.Line] {
+			if dir.names[d.Analyzer] {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range s.directives {
+		switch {
+		case dir.names == nil:
+			kept = append(kept, Diagnostic{
+				Analyzer: "directive",
+				Pos:      dir.pos,
+				Message:  "malformed //lint:ignore directive: need a non-empty reason after the check name",
+			})
+		case !dir.used:
+			kept = append(kept, Diagnostic{
+				Analyzer: "directive",
+				Pos:      dir.pos,
+				Message:  "this //lint:ignore directive did not match any finding; remove it",
+			})
+		}
+	}
+	sortDiagnostics(s.fset, kept)
+	return kept
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// fileHasDirective reports whether any comment in f is exactly the
+// given directive (e.g. //pimcaps:bitexact), used for file-scoped
+// exemptions.
+func fileHasDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether the declaration's doc comment
+// carries the given directive line (e.g. //pimcaps:hotpath).
+func funcHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

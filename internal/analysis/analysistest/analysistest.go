@@ -1,0 +1,169 @@
+// Package analysistest checks analyzers against golden packages, in
+// the mold of golang.org/x/tools/go/analysis/analysistest (see
+// internal/analysis for why the real one cannot be imported). A golden
+// package lives under testdata/src/<path> next to the calling test and
+// annotates the lines it expects diagnostics on:
+//
+//	out := net.Forward(x) // want `never released`
+//
+// Each // want comment carries one or more Go-quoted regular
+// expressions; every diagnostic on that line must be matched by
+// exactly one of them, and every expectation must be consumed by a
+// diagnostic. Suppression directives (//lint:ignore) run through the
+// same filter as production, so goldens can assert both that findings
+// fire and that justified ignores silence them.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's
+// testdata/src golden root (tests run with their package directory as
+// the working directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// Run loads each named golden package, runs the analyzer over it, and
+// reports every mismatch between its diagnostics and the packages'
+// // want annotations as test errors.
+func Run(t *testing.T, analyzer *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewGoldenLoader(TestData(t))
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading golden package %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg, loader.Fset, []*analysis.Analyzer{analyzer}, loader.IsProjectPkg)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", analyzer.Name, path, err)
+			continue
+		}
+		checkExpectations(t, loader.Fset, pkg, diags)
+	}
+}
+
+// expectation is one parsed // want regexp.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// checkExpectations matches diagnostics against the package's // want
+// annotations, erroring on unexpected diagnostics and unmet wants.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWant(c)
+				if err != nil {
+					t.Errorf("%s: %v", fset.Position(c.Pos()), err)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, w := range ws {
+					w.file, w.line = pos.Filename, pos.Line
+					wants = append(wants, w)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWant extracts the expectations from one comment, or nil if it
+// is not a want comment. The syntax is // want "re" `re` ... with each
+// pattern a Go string literal.
+func parseWant(c *ast.Comment) ([]*expectation, error) {
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var wants []*expectation
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %v", c.Text, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern %q: %v", lit, err)
+		}
+		wants = append(wants, &expectation{re: re, raw: strconv.Quote(lit)})
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("want comment %q has no patterns", c.Text)
+	}
+	return wants, nil
+}
+
+// cutStringLit splits one leading Go string literal (quoted or
+// backquoted) off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("expected string literal")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quoted string")
+	}
+	return "", "", fmt.Errorf("expected string literal, found %q", s)
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pimcapsnet/internal/analysis"
+	"pimcapsnet/internal/analysis/analysistest"
+)
+
+// The per-analyzer golden tests run in parallel on purpose: the golden
+// loaders share one process-wide export-data cache, so the race
+// detector sweeps the loader's locking along with the analyzers.
+
+func TestReleasecheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Releasecheck, "releasecheck")
+}
+
+func TestLayercheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Layercheck,
+		"internal/tensor", "internal/fp32", "internal/capsnet", "cmd/alpha", "cmd/beta")
+}
+
+func TestHotpathcheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Hotpathcheck, "hotpathcheck")
+}
+
+func TestFloateqcheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Floateqcheck, "floateqcheck")
+}
+
+func TestPaniccheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Paniccheck, "paniccheck")
+}

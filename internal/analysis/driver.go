@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic resolved to a file position, the form
+// cmd/pimcaps-vet prints, serializes as JSON, and turns into GitHub
+// annotations.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the go vet-style single-line form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s%s)", f.File, f.Line, f.Col, f.Message, IgnorePrefix, f.Analyzer)
+}
+
+// RunPatterns loads the packages matched by the go list patterns
+// (e.g. "./..." or "pimcapsnet/..."), runs every analyzer over each —
+// including in-package and external test files, exactly as go vet does
+// — applies suppression directives, and returns the surviving findings
+// sorted by position. dir is the working directory for go tool
+// invocations ("" for the current one).
+func RunPatterns(dir string, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	listArgs := append([]string{
+		"-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,DepOnly,Standard,ForTest,Module,GoFiles,TestGoFiles,XTestGoFiles,Error",
+		"--",
+	}, patterns...)
+	pkgs, err := runGoList(dir, listArgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports := newExportSet()
+	exports.add(pkgs)
+
+	modPath := ""
+	for _, p := range pkgs {
+		if !p.Standard && p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	isProject := func(path string) bool {
+		return modPath != "" && (path == modPath || strings.HasPrefix(path, modPath+"/"))
+	}
+
+	var findings []Finding
+	fset := token.NewFileSet()
+	for _, lp := range pkgs {
+		// Targets are the plain, non-dependency module packages; their
+		// test variants are synthesized below rather than taken from the
+		// "p [p.test]" / "p.test" entries go list -test adds.
+		if lp.DepOnly || lp.Standard || lp.ForTest != "" ||
+			strings.HasSuffix(lp.ImportPath, ".test") || strings.Contains(lp.ImportPath, " ") {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+
+		units := []struct {
+			importPath string
+			files      []string
+			testFiles  []string
+			forTest    string
+		}{
+			{lp.ImportPath, lp.GoFiles, lp.TestGoFiles, forTestOf(lp)},
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			units = append(units, struct {
+				importPath string
+				files      []string
+				testFiles  []string
+				forTest    string
+			}{lp.ImportPath + "_test", nil, lp.XTestGoFiles, lp.ImportPath})
+		}
+
+		for _, u := range units {
+			plain, err := parseFiles(fset, lp.Dir, u.files)
+			if err != nil {
+				return nil, err
+			}
+			tests, err := parseFiles(fset, lp.Dir, u.testFiles)
+			if err != nil {
+				return nil, err
+			}
+			files := append(plain, tests...)
+			if len(files) == 0 {
+				continue
+			}
+			imp := exports.importerFor(fset, u.forTest)
+			typesPkg, info, err := checkFiles(fset, u.importPath, files, imp)
+			if err != nil {
+				return nil, err
+			}
+			pkg := &Package{
+				ImportPath: u.importPath,
+				Dir:        lp.Dir,
+				Files:      files,
+				TestFiles:  map[*ast.File]bool{},
+				Types:      typesPkg,
+				Info:       info,
+			}
+			for _, f := range tests {
+				pkg.TestFiles[f] = true
+			}
+			diags, err := RunAnalyzers(pkg, fset, analyzers, isProject)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					File:     relPath(lp.Dir, modPath, lp.ImportPath, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return findings, nil
+}
+
+// forTestOf names the package-under-test context for an augmented
+// (GoFiles+TestGoFiles) unit: only packages that actually have test
+// files get a test-variant importer.
+func forTestOf(lp goListPkg) string {
+	if len(lp.TestGoFiles) > 0 {
+		return lp.ImportPath
+	}
+	return ""
+}
+
+// relPath rewrites an absolute source filename into the
+// module-relative form used in reports (so findings are stable across
+// checkouts and usable as GitHub annotation paths).
+func relPath(pkgDir, modPath, importPath, filename string) string {
+	rel := strings.TrimSuffix(importPath, "_test")
+	if modPath != "" {
+		rel = strings.TrimPrefix(rel, modPath)
+		rel = strings.TrimPrefix(rel, "/")
+	}
+	base := filename
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		base = filename[i+1:]
+	}
+	if rel == "" {
+		return base
+	}
+	return rel + "/" + base
+}
+
+// RunAnalyzers executes the analyzers over one loaded package and
+// returns the diagnostics that survive suppression directives. It is
+// shared by RunPatterns and the analysistest harness so the
+// suppression path behaves identically in production and in tests.
+func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, isProject func(string) bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:     a,
+			Fset:         fset,
+			Files:        pkg.Files,
+			Pkg:          pkg.Types,
+			TypesInfo:    pkg.Info,
+			IsProjectPkg: isProject,
+			testFiles:    pkg.TestFiles,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, pass.diagnostics...)
+	}
+	return parseSuppressions(fset, pkg.Files).filter(diags), nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathDirective marks a function whose body must stay
+// allocation-free in steady state.
+const HotpathDirective = "//pimcaps:hotpath"
+
+// Hotpathcheck encodes the 0 allocs/op guarantee of the scratch-arena
+// forward path at the source level. Functions annotated
+// //pimcaps:hotpath — the arena, kernel, and routing bodies — may not
+// contain the constructs that put allocations (or allocation hazards)
+// back on the hot path:
+//
+//   - make, new, and goroutine launches (per-call heap traffic);
+//   - append, unless it reslices an existing buffer to zero length
+//     first (append(buf[:0], …)), the reuse idiom tensor.Reuse uses
+//     for its shape array;
+//   - slice, map, and channel composite literals (struct literals are
+//     fine: they live in registers or on the stack);
+//   - function literals and method-value expressions (closure
+//     allocation — the arena pre-binds its kernels once at scratch
+//     creation for exactly this reason);
+//   - explicit conversions to interface types (boxing);
+//   - fmt.* calls, except inside a panic(...) argument with only
+//     scalar/string operands. Formatting a slice or interface makes
+//     the variadic argument escape and allocate on every call even
+//     when the panic branch is never taken — the exact bug fixed in
+//     tensor.Reuse — while panic(fmt.Sprintf("…%d", n)) boxes its
+//     scalars only on the cold panicking path.
+//
+// The bench gate catches allocation regressions after the fact;
+// this check names the offending line before the benchmark runs.
+var Hotpathcheck = &Analyzer{
+	Name: "hotpathcheck",
+	Doc:  "//pimcaps:hotpath functions must not allocate: no make/new/append-growth/closures/boxing/fmt",
+	Run:  runHotpathcheck,
+}
+
+func runHotpathcheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasDirective(fn, HotpathDirective) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	// Calls lexically inside a panic(...) argument are cold-path guards
+	// and get the relaxed fmt rule.
+	inPanic := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "panic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if m != nil {
+					inPanic[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot-path function %s allocates a closure; pre-bind it outside the hot path (see scratch's kernel fields)", fn.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot-path function %s; dispatch through the persistent worker pool instead", fn.Name.Name)
+		case *ast.CompositeLit:
+			t := typeOf(pass, n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Reportf(n.Pos(), "%s composite literal allocates in hot-path function %s", describeKind(t), fn.Name.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if !isCalledSelector(pass, fn, n) {
+					pass.Reportf(n.Pos(), "method value %s allocates a bound closure in hot-path function %s; bind it once at setup", n.Sel.Name, fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fn, n, inPanic[n])
+		}
+		return true
+	})
+}
+
+// checkHotpathCall applies the call-level rules: builtins that
+// allocate, fmt outside cold panic guards, and interface-boxing
+// conversions.
+func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, panicGuarded bool) {
+	switch {
+	case isBuiltin(pass, call.Fun, "make"):
+		pass.Reportf(call.Pos(), "make in hot-path function %s; allocate at scratch creation, not per call", fn.Name.Name)
+	case isBuiltin(pass, call.Fun, "new"):
+		pass.Reportf(call.Pos(), "new in hot-path function %s; allocate at scratch creation, not per call", fn.Name.Name)
+	case isBuiltin(pass, call.Fun, "append"):
+		if !isReuseAppend(call) {
+			pass.Reportf(call.Pos(), "append in hot-path function %s may grow its backing array; reslice an owned buffer to [:0] or size it at scratch creation", fn.Name.Name)
+		}
+	default:
+		if obj := calleeObject(pass, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			if !panicGuarded {
+				pass.Reportf(call.Pos(), "fmt.%s call in hot-path function %s allocates; hot-path fmt is only allowed inside panic(...) guards", obj.Name(), fn.Name.Name)
+			} else if bad := nonScalarFmtArg(pass, call); bad != nil {
+				pass.Reportf(bad.Pos(), "formatting a non-scalar makes this argument escape and allocate on every call of %s, even when the panic guard does not fire (the tensor.Reuse lesson); format scalars only", fn.Name.Name)
+			}
+		}
+		// Explicit conversion to an interface type: T(x) boxes x.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+				if at := typeOf(pass, call.Args[0]); at != nil {
+					if _, argIface := at.Underlying().(*types.Interface); !argIface {
+						pass.Reportf(call.Pos(), "conversion to interface type boxes its operand in hot-path function %s", fn.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isReuseAppend recognizes append(buf[:0], …): appending into an
+// existing buffer resliced to zero, which only allocates if the data
+// outgrows the buffer's capacity.
+func isReuseAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok || sl.Low != nil && !isZeroLit(sl.Low) {
+		return false
+	}
+	return isZeroLit(sl.High)
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// isCalledSelector reports whether sel appears as the function of a
+// call expression somewhere in fn (s.m() — a plain method call — as
+// opposed to the method value s.m).
+func isCalledSelector(pass *Pass, fn *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	called := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+			called = true
+		}
+		return !called
+	})
+	return called
+}
+
+// nonScalarFmtArg returns the first argument of a fmt call whose type
+// is not a basic scalar or string (and would therefore escape), or nil.
+func nonScalarFmtArg(pass *Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		t := typeOf(pass, arg)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Basic); !ok {
+			return arg
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether e names the given universe-scope builtin.
+func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	_, isb := obj.(*types.Builtin)
+	return isb
+}
+
+// calleeObject resolves the called function's object, or nil.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// describeKind names a composite-literal's underlying kind for
+// diagnostics.
+func describeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return "composite"
+}

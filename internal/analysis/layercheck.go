@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Layercheck enforces the repository's import DAG from a declarative
+// table. The layering is what keeps the reproduction honest: the
+// numeric bottom (tensor, fp32) must stay dependency-free so kernels
+// are portable and benchmarkable in isolation; capsnet must never
+// grow an edge to the serving/observability/fault stack (the
+// StageTimer hook exists precisely so obs can observe forward passes
+// without capsnet importing it); and cmd binaries stay independent
+// composition roots. Rules match on trailing path segments so the
+// analysistest fakes under testdata exercise the same table as the
+// real tree. Test files are exempt — integration tests may wire layers
+// together freely.
+var Layercheck = &Analyzer{
+	Name: "layercheck",
+	Doc:  "imports must respect the layer table (tensor/fp32 at the bottom, capsnet below obs/serve/fault, cmds independent)",
+	Run:  runLayercheck,
+}
+
+// A layerRule constrains the imports of packages matching Pkg (a
+// trailing-segment pattern). If StdlibOnly is set, no project-internal
+// import is allowed at all; otherwise imports matching any Forbid
+// pattern (consecutive-segment match) are rejected.
+type layerRule struct {
+	Pkg        string
+	StdlibOnly bool
+	Forbid     []string
+	Why        string
+}
+
+var layerRules = []layerRule{
+	{
+		Pkg:        "internal/tensor",
+		StdlibOnly: true,
+		Why:        "tensor is the numeric bottom layer and may import only the standard library",
+	},
+	{
+		Pkg:        "internal/fp32",
+		StdlibOnly: true,
+		Why:        "fp32 is the numeric bottom layer and may import only the standard library",
+	},
+	{
+		Pkg:    "internal/capsnet",
+		Forbid: []string{"internal/obs", "internal/serve", "internal/fault"},
+		Why:    "capsnet must not depend on the serving stack; observability reaches it through the StageTimer hook",
+	},
+}
+
+func runLayercheck(pass *Pass) error {
+	pkgPath := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	var active []layerRule
+	for _, r := range layerRules {
+		if hasSegments(pkgPath, r.Pkg) {
+			active = append(active, r)
+		}
+	}
+	isCmd := cmdName(pkgPath) != ""
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, r := range active {
+				if r.StdlibOnly && pass.IsProjectPkg != nil && pass.IsProjectPkg(path) {
+					pass.Reportf(imp.Pos(), "%s must not import %s: %s", r.Pkg, path, r.Why)
+					continue
+				}
+				for _, f := range r.Forbid {
+					if hasSegments(path, f) {
+						pass.Reportf(imp.Pos(), "%s must not import %s: %s", r.Pkg, path, r.Why)
+					}
+				}
+			}
+			if isCmd {
+				if c := cmdName(path); c != "" && c != cmdName(pkgPath) {
+					pass.Reportf(imp.Pos(), "cmd/%s must not import cmd/%s: commands are independent composition roots; share code via internal packages", cmdName(pkgPath), c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasSegments reports whether path contains pattern's "/"-separated
+// segments consecutively (so "internal/obs" matches
+// "pimcapsnet/internal/obs" but not "internal/observe").
+func hasSegments(path, pattern string) bool {
+	segs := strings.Split(path, "/")
+	want := strings.Split(pattern, "/")
+	for i := 0; i+len(want) <= len(segs); i++ {
+		match := true
+		for j, w := range want {
+			if segs[i+j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdName returns the binary name if path is a cmd/<name> package
+// (possibly below a module prefix), else "".
+func cmdName(path string) string {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "cmd" && i+1 < len(segs) {
+			return segs[i+1]
+		}
+	}
+	return ""
+}

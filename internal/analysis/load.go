@@ -1,0 +1,382 @@
+package analysis
+
+// Package loading for the analyzer driver. The x/tools ecosystem uses
+// go/packages here; this offline reimplementation gets the same result
+// from two standard-library pieces:
+//
+//   - `go list -export -deps -json` supplies package metadata and,
+//     crucially, compiled export data for every dependency, so imports
+//     resolve without type-checking the world from source;
+//   - go/parser + go/types check each *target* package from source,
+//     importing its dependencies through go/importer's gc importer fed
+//     by that export data.
+//
+// Test packages follow the real build graph: the in-package test
+// variant ("p [p.test]") is type-checked from source as GoFiles +
+// TestGoFiles, the external test package ("p_test") from its
+// XTestGoFiles, and each uses a fresh importer that prefers the
+// "[p.test]" recompiled variants of its dependencies, which is exactly
+// how cmd/go links test binaries.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked unit handed to the analyzers.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	// TestFiles marks which of Files came from TestGoFiles, for
+	// analyzers whose invariants exempt test code.
+	TestFiles map[*ast.File]bool
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// goListPkg is the subset of `go list -json` output the driver needs.
+type goListPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	ForTest      string
+	Module       *struct{ Path string }
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// runGoList invokes the go tool and decodes its JSON package stream.
+func runGoList(dir string, args ...string) ([]goListPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []goListPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p goListPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// An exportSet maps import paths (including "path [variant]" test
+// recompilations) to compiled export data files. It is safe for
+// concurrent use; analysistest runs share one process-wide set so
+// parallel analyzer tests exercise it under the race detector.
+type exportSet struct {
+	mu    sync.Mutex
+	files map[string]string
+}
+
+func newExportSet() *exportSet { return &exportSet{files: map[string]string{}} }
+
+// add records every export file in the listing.
+func (e *exportSet) add(pkgs []goListPkg) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.files[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (e *exportSet) get(path string) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.files[path]
+	return f, ok
+}
+
+// ensure fetches export data for any of paths not yet known, pulling
+// full dependency closures so the gc importer never misses a
+// transitive import.
+func (e *exportSet) ensure(dir string, paths []string) error {
+	var missing []string
+	e.mu.Lock()
+	for _, p := range paths {
+		if _, ok := e.files[p]; !ok && p != "unsafe" && p != "C" {
+			missing = append(missing, p)
+		}
+	}
+	e.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	args := append([]string{"-export", "-deps", "-json=ImportPath,Export", "--"}, missing...)
+	pkgs, err := runGoList(dir, args...)
+	if err != nil {
+		return err
+	}
+	e.add(pkgs)
+	return nil
+}
+
+// importerFor builds a types.Importer over the export set. When
+// forTest names a package under test (e.g. "pimcapsnet/internal/serve"),
+// dependencies recompiled against that package's test variant — listed
+// as "dep [forTest.test]" — take precedence, mirroring the build graph
+// of the test binary. Each call returns a fresh importer with its own
+// package cache, so variant-flavored packages never leak between
+// targets.
+func (e *exportSet) importerFor(fset *token.FileSet, forTest string) types.Importer {
+	suffix := ""
+	if forTest != "" {
+		suffix = " [" + forTest + ".test]"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if suffix != "" {
+			if f, ok := e.get(path + suffix); ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := e.get(path); ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// parseFiles parses the named files (paths relative to dir) with
+// comments preserved.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkFiles type-checks already-parsed files as one package.
+func checkFiles(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, err := range errs {
+			msgs = append(msgs, err.Error())
+		}
+		return nil, nil, fmt.Errorf("type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	return pkg, info, nil
+}
+
+// srcImporter resolves imports for analysistest golden packages: an
+// import path that names a directory under root loads (and caches) that
+// golden package from source; anything else falls back to standard
+// library export data. It implements types.Importer.
+type srcImporter struct {
+	fset    *token.FileSet
+	root    string
+	exports *exportSet
+	std     types.Importer
+
+	mu      sync.Mutex
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func newSrcImporter(fset *token.FileSet, root string, exports *exportSet) *srcImporter {
+	return &srcImporter{
+		fset:    fset,
+		root:    root,
+		exports: exports,
+		std:     exports.importerFor(fset, ""),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// isLocal reports whether path names a golden package under root.
+func (s *srcImporter) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(s.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+func (s *srcImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if !s.isLocal(path) {
+		if err := s.exports.ensure(s.root, []string{path}); err != nil {
+			return nil, err
+		}
+		return s.std.Import(path)
+	}
+	s.mu.Lock()
+	if pkg, ok := s.pkgs[path]; ok {
+		s.mu.Unlock()
+		return pkg, nil
+	}
+	if s.loading[path] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	s.loading[path] = true
+	s.mu.Unlock()
+
+	pkg, _, _, err := s.load(path)
+
+	s.mu.Lock()
+	delete(s.loading, path)
+	if err == nil {
+		s.pkgs[path] = pkg
+	}
+	s.mu.Unlock()
+	return pkg, err
+}
+
+// load parses and checks the golden package at path, returning its
+// syntax alongside the checked types for the harness.
+func (s *srcImporter) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(s.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := parseFiles(s.fset, dir, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var std []string
+	for _, p := range fileImports(files) {
+		if !s.isLocal(p) {
+			std = append(std, p)
+		}
+	}
+	if err := s.exports.ensure(s.root, std); err != nil {
+		return nil, nil, nil, err
+	}
+	pkg, info, err := checkFiles(s.fset, path, files, s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+// LoadGolden loads one golden package (plus, transitively, its local
+// imports) for the analysistest harness.
+func (s *srcImporter) LoadGolden(path string) (*Package, error) {
+	pkg, files, info, err := s.load(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.pkgs[path] = pkg
+	s.mu.Unlock()
+	testFiles := map[*ast.File]bool{}
+	for _, f := range files {
+		if strings.HasSuffix(s.fset.Position(f.Pos()).Filename, "_test.go") {
+			testFiles[f] = true
+		}
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        filepath.Join(s.root, filepath.FromSlash(path)),
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// goldenExports is shared by every GoldenLoader in the process so
+// parallel analyzer tests hammer one export cache, putting its locking
+// under the race detector.
+var goldenExports = newExportSet()
+
+// A GoldenLoader loads analysistest golden packages from a testdata
+// tree: import paths resolve against directories under root, anything
+// else against standard-library export data.
+type GoldenLoader struct {
+	Fset *token.FileSet
+	imp  *srcImporter
+}
+
+// NewGoldenLoader returns a loader rooted at the golden tree
+// (conventionally testdata/src next to the calling test).
+func NewGoldenLoader(root string) *GoldenLoader {
+	fset := token.NewFileSet()
+	return &GoldenLoader{Fset: fset, imp: newSrcImporter(fset, root, goldenExports)}
+}
+
+// Load type-checks the golden package at path (plus, transitively, its
+// local imports).
+func (l *GoldenLoader) Load(path string) (*Package, error) { return l.imp.LoadGolden(path) }
+
+// IsProjectPkg treats every directory under the golden root as
+// project-local, the analysistest stand-in for the driver's
+// module-prefix test.
+func (l *GoldenLoader) IsProjectPkg(path string) bool { return l.imp.isLocal(path) }
+
+// fileImports collects the (unquoted) import paths of files.
+func fileImports(files []*ast.File) []string {
+	var paths []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				paths = append(paths, path)
+			}
+		}
+	}
+	return paths
+}

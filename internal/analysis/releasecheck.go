@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Releasecheck enforces the scratch-arena ownership contract from the
+// allocation-free forward path: every *capsnet.Output obtained from
+// Network.Forward/ForwardBatch must reach Release() on all paths, or
+// visibly escape to a caller who inherits the obligation. An Output
+// that is dropped keeps a whole forward-pass arena out of the
+// Network's pool, so the next request allocates a fresh slab and the
+// steady-state 0 allocs/op guarantee quietly dies. The serve handler
+// (internal/serve/server.go) is the model: copy what the response
+// needs, then defer out.Release().
+//
+// The check is flow-light by design: a function that acquires an
+// Output must (a) call or defer Release on it, or (b) let it escape
+// (return it, store it, pass it to another function) — and no return
+// statement may appear between the acquisition and the first
+// Release/escape, the classic early-return leak. Test files are
+// exempt: tests exercise the unreleased (pre-arena, safe-but-unpooled)
+// behavior on purpose.
+var Releasecheck = &Analyzer{
+	Name: "releasecheck",
+	Doc:  "capsnet.Output values must be Release()d on every path or escape to the caller",
+	Run:  runReleasecheck,
+}
+
+// isCapsnetOutput reports whether t is *Output for an Output type
+// declared in a package whose import path ends in "capsnet" (matching
+// both the real internal/capsnet and analysistest fakes).
+func isCapsnetOutput(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Output" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "capsnet" || strings.HasSuffix(path, "/capsnet")
+}
+
+func runReleasecheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncReleases(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncReleases inspects one function for Output acquisitions and
+// their release/escape fate.
+func checkFuncReleases(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are separate scopes; keep it simple
+		case *ast.ExprStmt:
+			// A bare `net.Forward(x, m)` drops the Output on the floor
+			// (a chained .Release() consumes it and is fine).
+			if call, ok := n.X.(*ast.CallExpr); ok && isCapsnetOutput(typeOf(pass, call)) {
+				pass.Reportf(call.Pos(), "result of %s is a capsnet.Output that is never released; call Release() when done with it", calleeName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isCapsnetOutput(typeOf(pass, call)) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					if !ok {
+						continue
+					}
+					pass.Reportf(call.Pos(), "capsnet.Output from %s is discarded without Release()", calleeName(call))
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || !isCapsnetOutput(obj.Type()) {
+					continue
+				}
+				checkOutputVar(pass, fn, n, call, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkOutputVar traces one acquired Output variable through the
+// function body: a Release (called or deferred) discharges the
+// obligation, a field read (out.Lengths) or method call
+// (out.Predictions()) merely uses it, and any other mention — return,
+// argument, store, alias — escapes it to a new owner. A return
+// statement positioned between the acquisition and the first
+// Release/escape is the classic early-return leak and is reported.
+func checkOutputVar(pass *Pass, fn *ast.FuncDecl, acq *ast.AssignStmt, call *ast.CallExpr, obj types.Object) {
+	guardPos := token.Pos(-1) // position of the first Release or escape
+	note := func(pos token.Pos) {
+		if guardPos < 0 || pos < guardPos {
+			guardPos = pos
+		}
+	}
+	var deferStack []*ast.DeferStmt
+	released, escaped := false, false
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferStack = append(deferStack, n)
+			ast.Inspect(n.Call, visit)
+			deferStack = deferStack[:len(deferStack)-1]
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					if sel.Sel.Name == "Release" {
+						released = true
+						// A deferred release guards from the defer
+						// statement onward.
+						pos := n.Pos()
+						if len(deferStack) > 0 {
+							pos = deferStack[len(deferStack)-1].Pos()
+						}
+						note(pos)
+					}
+					// Method call on the Output: receiver use, not an
+					// escape; still scan the arguments.
+					for _, arg := range n.Args {
+						ast.Inspect(arg, visit)
+					}
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				return false // field read like out.Lengths: not an escape
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[n] == obj && n.Pos() > acq.End() {
+				// Any other use after acquisition — argument, return,
+				// store, alias — conservatively transfers the release
+				// obligation to the new holder.
+				escaped = true
+				note(n.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+
+	if !released && !escaped {
+		pass.Reportf(acq.Pos(), "capsnet.Output from %s is never released; call or defer %s.Release()", calleeName(call), obj.Name())
+		return
+	}
+	// Early-return leak: a return reachable between acquisition and the
+	// first Release/escape abandons the arena on that path. Comparing
+	// the return's END against the guard keeps `return out` clean: the
+	// escape there is inside the return statement itself.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > acq.End() && (guardPos < 0 || ret.End() <= guardPos) {
+			pass.Reportf(ret.Pos(), "return may leak the capsnet.Output acquired at line %d: Release is not yet deferred on this path", pass.Fset.Position(acq.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// typeOf returns the static type of e, or nil.
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pimcapsnet/internal/analysis"
+)
+
+// TestSuiteContents pins the suite's composition: CI annotations,
+// Makefile docs, and DESIGN.md all name these five checks.
+func TestSuiteContents(t *testing.T) {
+	t.Parallel()
+	want := []string{"releasecheck", "layercheck", "hotpathcheck", "floateqcheck", "paniccheck"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
+// TestSuiteCleanOnTree is the smoke test the satellite tasks call for:
+// the full suite over the real module — augmented test packages and
+// external test packages included, exactly what `pimcaps-vet ./...`
+// runs in CI — must report nothing. If this fails, either new code
+// broke an invariant or an analyzer grew a false positive; both are
+// ship-blockers.
+func TestSuiteCleanOnTree(t *testing.T) {
+	t.Parallel()
+	findings, err := analysis.RunPatterns("", analysis.Suite(), "pimcapsnet/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding on a tree that should be clean: %s", f)
+	}
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// Suite returns the full pimcaps-vet analyzer set in reporting order.
+// Each member enforces one invariant the architecture depends on; see
+// DESIGN.md's invariant table for the rationale of each.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Releasecheck,
+		Layercheck,
+		Hotpathcheck,
+		Floateqcheck,
+		Paniccheck,
+	}
+}

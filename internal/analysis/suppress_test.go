@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/analysis"
+	"pimcapsnet/internal/analysis/analysistest"
+)
+
+// TestDirectiveDiagnostics checks the suppression machinery's own
+// error paths on the directive golden package: a reason-less
+// //lint:ignore is malformed (and suppresses nothing), and a directive
+// matching no finding is reported as stale. These use explicit
+// assertions instead of // want comments because appending a want
+// comment to a directive line would become the directive's reason.
+func TestDirectiveDiagnostics(t *testing.T) {
+	t.Parallel()
+	loader := analysis.NewGoldenLoader(analysistest.TestData(t))
+	pkg, err := loader.Load("directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, loader.Fset, []*analysis.Analyzer{analysis.Floateqcheck}, loader.IsProjectPkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMalformed, gotUnused, gotUnsuppressed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "malformed"):
+			gotMalformed = true
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "did not match any finding"):
+			gotUnused = true
+		case d.Analyzer == "floateqcheck":
+			// The malformed directive must NOT have suppressed the a == b
+			// comparison beneath it.
+			gotUnsuppressed = true
+		default:
+			t.Errorf("unexpected diagnostic: %s (%s)", d.Message, d.Analyzer)
+		}
+	}
+	if !gotMalformed {
+		t.Error("reason-less //lint:ignore was not reported as malformed")
+	}
+	if !gotUnused {
+		t.Error("stale //lint:ignore was not reported as unused")
+	}
+	if !gotUnsuppressed {
+		t.Error("malformed directive suppressed the finding beneath it")
+	}
+	if n := len(diags); n != 3 {
+		t.Errorf("got %d diagnostics, want 3", n)
+	}
+}

@@ -1,0 +1,24 @@
+// Package capsnet is the analysistest stand-in for the real
+// internal/capsnet: just enough surface (Output, Release, the Forward
+// entry points) for the releasecheck goldens to type-check.
+package capsnet
+
+// Output mirrors the arena-backed forward result.
+type Output struct {
+	Lengths []float32
+}
+
+// Release returns the Output's scratch arena to the pool.
+func (o *Output) Release() {}
+
+// Predictions mirrors a read-only accessor on the Output.
+func (o *Output) Predictions() []int { return nil }
+
+// Network mirrors the owning network.
+type Network struct{}
+
+// Forward mirrors the single-tensor entry point.
+func (n *Network) Forward(x []float32) *Output { return &Output{} }
+
+// ForwardBatch mirrors the batch entry point.
+func (n *Network) ForwardBatch(x [][]float32) *Output { return &Output{} }

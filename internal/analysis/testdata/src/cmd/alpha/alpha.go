@@ -1,0 +1,12 @@
+// Package main is the layercheck golden for the cmd-independence
+// rule: a command may reach shared internal packages but never
+// another command.
+package main
+
+import (
+	_ "cmd/beta" // want `cmd/alpha must not import cmd/beta: commands are independent composition roots`
+
+	_ "internal/obs"
+)
+
+func main() {}

@@ -1,0 +1,3 @@
+// Package beta is a dummy command-layer package for the
+// cmd-independence golden; it imports nothing and stays clean.
+package beta

@@ -1,0 +1,17 @@
+// Package directive exercises the suppression machinery itself: a
+// malformed //lint:ignore (no reason) must not suppress anything and
+// is reported, and a directive that matches no finding is reported as
+// stale. Checked by a direct unit test rather than want comments —
+// appending a want comment to a directive line would become the
+// directive's reason text.
+package directive
+
+func missingReason(a, b float64) bool {
+	//lint:ignore pimcaps/floateqcheck
+	return a == b
+}
+
+func unusedIgnore(i, j int) bool {
+	//lint:ignore pimcaps/floateqcheck ints never needed this ignore
+	return i == j
+}

@@ -1,0 +1,7 @@
+//pimcaps:bitexact
+
+package floateqcheck
+
+// bitIdentical lives in a //pimcaps:bitexact file: exact comparison is
+// the property under test, so the whole file is exempt.
+func bitIdentical(a, b float32) bool { return a == b }

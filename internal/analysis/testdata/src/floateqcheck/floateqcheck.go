@@ -1,0 +1,30 @@
+// Package floateqcheck holds the goldens for the float-equality
+// analyzer: plain comparisons are flagged, the constant-comparand and
+// NaN idioms pass, and a lint:ignore silences a single site.
+package floateqcheck
+
+const eps = 1e-6
+
+func compare(a, b float32, c, d float64, i, j int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if c != d { // want `floating-point != comparison`
+		return false
+	}
+	if a == 0 {
+		return true
+	}
+	if a != a {
+		return false
+	}
+	if c == eps {
+		return true
+	}
+	return i == j
+}
+
+func suppressed(a, b float32) bool {
+	//lint:ignore pimcaps/floateqcheck this golden documents a justified exact comparison
+	return a == b
+}

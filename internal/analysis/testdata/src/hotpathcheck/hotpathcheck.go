@@ -1,0 +1,76 @@
+// Package hotpathcheck holds the goldens for the allocation-free
+// hot-path analyzer: every construct the check forbids, the idioms it
+// deliberately allows, and the opt-in/suppression paths.
+package hotpathcheck
+
+import "fmt"
+
+type state struct {
+	buf   []int
+	shape []int
+}
+
+func (s *state) step() {}
+
+// notAnnotated may allocate freely: the check is opt-in via the
+// directive.
+func notAnnotated(n int) []int {
+	return make([]int, n)
+}
+
+//pimcaps:hotpath
+func allocates(s *state, n int) {
+	s.buf = make([]int, n) // want `make in hot-path function allocates`
+	_ = new(state)         // want `new in hot-path function allocates`
+}
+
+//pimcaps:hotpath
+func appends(s *state, shape []int) {
+	s.shape = append(s.shape, shape...) // want `append in hot-path function appends may grow its backing array`
+	s.shape = append(s.shape[:0], shape...)
+}
+
+//pimcaps:hotpath
+func closures(s *state) {
+	f := func() {} // want `function literal in hot-path function closures allocates a closure`
+	f()
+	g := s.step // want `method value step allocates a bound closure`
+	g()
+	s.step()
+}
+
+//pimcaps:hotpath
+func launches(s *state) {
+	go s.step() // want `go statement in hot-path function launches`
+}
+
+//pimcaps:hotpath
+func literals(s *state) {
+	s.buf = []int{1, 2} // want `slice composite literal allocates`
+	m := map[int]int{}  // want `map composite literal allocates`
+	_ = m
+	st := state{}
+	_ = st
+}
+
+//pimcaps:hotpath
+func formats(n int, xs []float32) {
+	fmt.Println(n) // want `fmt\.Println call in hot-path function formats allocates`
+	if n < 0 {
+		panic(fmt.Sprintf("formats: bad n %d", n))
+	}
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("formats: bad xs %v", xs)) // want `formatting a non-scalar makes this argument escape`
+	}
+}
+
+//pimcaps:hotpath
+func boxes(n int) {
+	_ = any(n) // want `conversion to interface type boxes its operand`
+}
+
+//pimcaps:hotpath
+func suppressedAlloc(s *state, n int) {
+	//lint:ignore pimcaps/hotpathcheck this golden documents a justified one-time growth
+	s.buf = make([]int, n)
+}

@@ -1,0 +1,8 @@
+// Package capsnet is the layercheck golden for the capsnet-layer rule:
+// the serving/observability/fault stack must stay above it.
+package capsnet
+
+import (
+	_ "internal/fault" // want `internal/capsnet must not import internal/fault`
+	_ "internal/obs"   // want `internal/capsnet must not import internal/obs`
+)

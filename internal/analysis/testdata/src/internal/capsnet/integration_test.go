@@ -1,0 +1,6 @@
+package capsnet
+
+// Test files are exempt from the layer table: integration tests may
+// wire layers together freely, so this import draws no finding.
+
+import _ "internal/obs"

@@ -1,0 +1,2 @@
+// Package fault is a dummy upper-layer package for the layer goldens.
+package fault

@@ -1,0 +1,8 @@
+// Package fp32 is the layercheck golden for a clean bottom-layer
+// package: standard-library imports only, so no findings.
+package fp32
+
+import "math"
+
+// Abs keeps the math import used.
+func Abs(x float64) float64 { return math.Abs(x) }

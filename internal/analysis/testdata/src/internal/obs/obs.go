@@ -1,0 +1,2 @@
+// Package obs is a dummy upper-layer package for the layer goldens.
+package obs

@@ -1,0 +1,10 @@
+// Package tensor is the layercheck golden for the stdlib-only
+// bottom-layer rule: one stdlib import (fine) and one project-internal
+// import (flagged).
+package tensor
+
+import (
+	_ "math"
+
+	_ "internal/obs" // want `internal/tensor must not import internal/obs: tensor is the numeric bottom layer`
+)

@@ -1,0 +1,11 @@
+package releasecheck
+
+import "capsnet"
+
+// Test files are exempt from releasecheck: tests exercise the
+// unreleased (safe-but-unpooled) behavior on purpose, so this leak
+// draws no finding.
+
+func testHelperLeaks(net *capsnet.Network) {
+	net.Forward(nil)
+}

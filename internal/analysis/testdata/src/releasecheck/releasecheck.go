@@ -1,0 +1,59 @@
+// Package releasecheck holds the goldens for the Output-release
+// analyzer: each flagged line carries a want annotation; the clean
+// functions document the release and escape shapes the check accepts.
+package releasecheck
+
+import "capsnet"
+
+func neverReleased(net *capsnet.Network, x []float32) int {
+	out := net.Forward(x) // want `capsnet\.Output from Forward is never released; call or defer out\.Release`
+	return len(out.Lengths)
+}
+
+func dropped(net *capsnet.Network, x []float32) {
+	net.Forward(x) // want `result of Forward is a capsnet\.Output that is never released`
+}
+
+func discarded(net *capsnet.Network, x [][]float32) {
+	_ = net.ForwardBatch(x) // want `capsnet\.Output from ForwardBatch is discarded without Release`
+}
+
+func earlyReturn(net *capsnet.Network, x []float32, bad bool) int {
+	out := net.Forward(x)
+	if bad {
+		return 0 // want `return may leak the capsnet\.Output acquired at line 22`
+	}
+	defer out.Release()
+	return len(out.Lengths)
+}
+
+func deferredRelease(net *capsnet.Network, x []float32) int {
+	out := net.Forward(x)
+	defer out.Release()
+	return len(out.Lengths)
+}
+
+func immediateRelease(net *capsnet.Network, x [][]float32) []int {
+	out := net.ForwardBatch(x)
+	preds := out.Predictions()
+	out.Release()
+	return preds
+}
+
+func escapesToCaller(net *capsnet.Network, x []float32) *capsnet.Output {
+	out := net.Forward(x)
+	return out
+}
+
+func escapesToCallee(net *capsnet.Network, x []float32) {
+	out := net.Forward(x)
+	consume(out)
+}
+
+func consume(o *capsnet.Output) { o.Release() }
+
+func suppressedLeak(net *capsnet.Network, x []float32) int {
+	//lint:ignore pimcaps/releasecheck this golden documents a justified unreleased Output
+	out := net.Forward(x)
+	return len(out.Lengths)
+}

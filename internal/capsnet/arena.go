@@ -201,11 +201,11 @@ func newScratch(n *Network, nb int) *scratch {
 	s.agreeBFn = s.agreeSamplesRange
 	s.agreeHFn = s.agreeCapsRange
 	s.agreeSharedHFn = s.agreeSharedCapsRange
-	// A scratch whose Output is never released (the trainers do this)
-	// dies with that Output instead of returning to the pool; give its
-	// bytes back to the gauge when the collector reclaims it. Pooled
-	// scratches stay reachable from the Network, so their finalizers
-	// only run once the Network itself is gone.
+	// A scratch whose Output is never released dies with that Output
+	// instead of returning to the pool; give its bytes back to the
+	// gauge when the collector reclaims it. Pooled scratches stay
+	// reachable from the Network, so their finalizers only run once the
+	// Network itself is gone.
 	runtime.SetFinalizer(s, func(s *scratch) {
 		s.net.arenaFloats.Add(^(uint64(s.arena.Size()) - 1))
 	})
@@ -253,6 +253,8 @@ func (s *scratch) alloc(nb int) {
 // bind re-points the reused tensor views at the current batch size.
 // Reuse copies the shape into each view's existing shape array, so
 // this allocates nothing in steady state.
+//
+//pimcaps:hotpath
 func (s *scratch) bind() {
 	nb := s.nb
 	s.uT.Reuse(s.u[:nb*s.nl*s.cl], nb, s.nl, s.cl)
@@ -268,6 +270,8 @@ func (s *scratch) bind() {
 // the first re-raised on the caller, matching parallelChunks. The
 // dispatch allocates nothing: job slots, the done channel, and the
 // panic cell are all part of the scratch.
+//
+//pimcaps:hotpath
 func (s *scratch) runChunks(n int, fn func(worker, lo, hi int)) {
 	workers := s.maxW
 	if workers > n {
@@ -307,6 +311,8 @@ func (s *scratch) runChunks(n int, fn func(worker, lo, hi int)) {
 // convSample runs the front-end conv + ReLU for sample k into the
 // batch-wide feature buffer, using worker w's im2col scratch. Same
 // kernel, loop order, and math as ConvLayer.Forward — bit-identical.
+//
+//pimcaps:hotpath
 func (s *scratch) convSample(w, k int) {
 	n := s.net
 	img := s.in[k*s.imgLen : (k+1)*s.imgLen]
@@ -319,6 +325,8 @@ func (s *scratch) convSample(w, k int) {
 // for sample k straight into its u rows — the same regroup indexing
 // and exact-math squash as PrimaryCapsLayer.Forward, minus the copy
 // through an intermediate capsule tensor (values are identical).
+//
+//pimcaps:hotpath
 func (s *scratch) primSample(w, k int) {
 	n := s.net
 	prim := n.Primary
@@ -343,6 +351,7 @@ func (s *scratch) primSample(w, k int) {
 	}
 }
 
+//pimcaps:hotpath
 func (s *scratch) convPrimRange(w, lo, hi int) {
 	for k := lo; k < hi; k++ {
 		s.convSample(w, k)
@@ -350,38 +359,46 @@ func (s *scratch) convPrimRange(w, lo, hi int) {
 	}
 }
 
+//pimcaps:hotpath
 func (s *scratch) convRange(w, lo, hi int) {
 	for k := lo; k < hi; k++ {
 		s.convSample(w, k)
 	}
 }
 
+//pimcaps:hotpath
 func (s *scratch) primRange(w, lo, hi int) {
 	for k := lo; k < hi; k++ {
 		s.primSample(w, k)
 	}
 }
 
+//pimcaps:hotpath
 func (s *scratch) predRange(_, lo, hi int) {
 	predictionVectorsRange(s.u, s.net.Digit.Weights.Data(), s.preds, s.nb, s.nl, s.cl, s.nh, s.ch, lo, hi, true)
 }
 
+//pimcaps:hotpath
 func (s *scratch) aggSamplesRange(_, lo, hi int) {
 	aggregateSamplesRange(s.math, s.preds, s.c, s.s, s.v, s.nl, s.nh, s.ch, lo, hi)
 }
 
+//pimcaps:hotpath
 func (s *scratch) aggCapsRange(_, lo, hi int) {
 	aggregateCapsRange(s.math, s.preds, s.c, s.s, s.v, s.nb, s.nl, s.nh, s.ch, lo, hi)
 }
 
+//pimcaps:hotpath
 func (s *scratch) agreeSamplesRange(_, lo, hi int) {
 	agreementSamplesRange(s.preds, s.v, s.b, s.nl, s.nh, s.ch, lo, hi)
 }
 
+//pimcaps:hotpath
 func (s *scratch) agreeCapsRange(_, lo, hi int) {
 	agreementCapsRange(s.preds, s.v, s.b, s.nb, s.nl, s.nh, s.ch, lo, hi)
 }
 
+//pimcaps:hotpath
 func (s *scratch) agreeSharedCapsRange(_, lo, hi int) {
 	agreementSharedRange(s.preds, s.v, s.b[:s.nl*s.nh], s.nb, s.nl, s.nh, s.ch, lo, hi)
 }
@@ -391,6 +408,8 @@ func (s *scratch) agreeSharedCapsRange(_, lo, hi int) {
 // stage brackets, and kernels (see kernels.go), so results are
 // bit-identical to the public path; only the buffer ownership and the
 // closure binding differ.
+//
+//pimcaps:hotpath
 func (s *scratch) routing(st StageTimer) {
 	n := s.net
 	nb, nl, nh, ch := s.nb, s.nl, s.nh, s.ch
@@ -467,6 +486,8 @@ func (s *scratch) routing(st StageTimer) {
 // outgrew its buffers) or builds a fresh one. Steady state — a
 // released scratch available, nb within capacity — is a mutex-guarded
 // slice pop: zero allocations.
+//
+//pimcaps:hotpath
 func (n *Network) acquireScratch(nb int) *scratch {
 	n.scratchMu.Lock()
 	var s *scratch
@@ -492,8 +513,11 @@ func (n *Network) acquireScratch(nb int) *scratch {
 // RoutingResult) alias buffers the next forward pass will overwrite;
 // copy anything you need first. Release is idempotent; an Output that
 // is never released simply keeps its buffers (the pre-arena behavior,
-// safe but unpooled), which is what non-serving callers like the
-// trainers do.
+// safe but unpooled) until the collector reclaims them, but abandons
+// the pooling win — which is why releasecheck makes every Forward
+// caller, trainers included, reach a Release.
+//
+//pimcaps:hotpath
 func (o *Output) Release() {
 	s := o.scr
 	if s == nil {
@@ -502,6 +526,7 @@ func (o *Output) Release() {
 	o.scr = nil
 	n := s.net
 	n.scratchMu.Lock()
+	//lint:ignore pimcaps/hotpathcheck the free-list grows to the steady-state scratch count and then never reallocates; there is no fixed bound to pre-size it to
 	n.scratchFree = append(n.scratchFree, s)
 	n.scratchMu.Unlock()
 }

@@ -16,6 +16,8 @@ package capsnet
 // over up with a capped sp slice: under this function's register
 // pressure a plain counted loop spills its induction variable to the
 // stack on every iteration, which costs ~45% on the whole kernel.
+//
+//pimcaps:hotpath
 func aggregateSamplesRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nl, nh, ch, klo, khi int) {
 	for k := klo; k < khi; k++ {
 		base := k * nl * nh * ch
@@ -46,6 +48,8 @@ func aggregateSamplesRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nl, nh
 // capsules [jlo, jhi) across all nb samples: per (k, j) the sum over i
 // still ascends, so values are bit-identical to the sample-sharded
 // kernel.
+//
+//pimcaps:hotpath
 func aggregateCapsRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nb, nl, nh, ch, jlo, jhi int) {
 	for k := 0; k < nb; k++ {
 		base := k * nl * nh * ch
@@ -74,6 +78,8 @@ func aggregateCapsRange(mathOps RoutingMath, pd, cd, sd, vd []float32, nb, nl, n
 
 // agreementSamplesRange performs Eq. 4 (b_ij ← b_ij + û_j|i·v_j) into
 // per-sample logit rows for samples [klo, khi).
+//
+//pimcaps:hotpath
 func agreementSamplesRange(pd, vd, bd []float32, nl, nh, ch, klo, khi int) {
 	for k := klo; k < khi; k++ {
 		base := k * nl * nh * ch
@@ -98,6 +104,8 @@ func agreementSamplesRange(pd, vd, bd []float32, nl, nh, ch, klo, khi int) {
 // high-level capsules [jlo, jhi) across all nb samples. Each (k, i, j)
 // entry receives exactly one increment, so the shard split cannot
 // change any value.
+//
+//pimcaps:hotpath
 func agreementCapsRange(pd, vd, bd []float32, nb, nl, nh, ch, jlo, jhi int) {
 	for k := 0; k < nb; k++ {
 		base := k * nl * nh * ch
@@ -124,6 +132,8 @@ func agreementCapsRange(pd, vd, bd []float32, nb, nl, nh, ch, jlo, jhi int) {
 // exactly the order of the original serial loop, so sharding on H
 // preserves bit-identity even though all workers share one logit
 // matrix (their (i, j) ranges are disjoint).
+//
+//pimcaps:hotpath
 func agreementSharedRange(pd, vd, sharedB []float32, nb, nl, nh, ch, jlo, jhi int) {
 	for k := 0; k < nb; k++ {
 		base := k * nl * nh * ch
@@ -152,6 +162,8 @@ func agreementSharedRange(pd, vd, sharedB []float32, nb, nl, nh, ch, jlo, jhi in
 // innermost), the W_ij data reuse that makes micro-batched serving
 // cheaper per request; per output element the accumulation over d
 // ascends, so results are bit-identical to a sample-at-a-time loop.
+//
+//pimcaps:hotpath
 func predictionVectorsRange(ud, wd, od []float32, nb, nl, cl, nh, ch, lo, hi int, zeroDst bool) {
 	for i := lo; i < hi; i++ {
 		if zeroDst {

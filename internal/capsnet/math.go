@@ -73,6 +73,8 @@ func (m PEMath) Recip(x float32) float32 { return fp32.FastRecip(x) * m.Recovery
 // Eq. 5: for each low-level capsule i, c_i· = softmax(b_i·) over the
 // high-level capsules. b and c are L×H matrices in row-major order; c
 // may alias b.
+//
+//pimcaps:hotpath
 func softmaxRows(mathOps RoutingMath, c, b []float32, nl, nh int) {
 	for i := 0; i < nl; i++ {
 		row := b[i*nh : (i+1)*nh]
@@ -106,6 +108,8 @@ func softmaxRows(mathOps RoutingMath, c, b []float32, nl, nh int) {
 // squashInto applies Eq. 3 with the given math, writing into dst
 // (which may alias src): v = (|s|²/(1+|s|²))·(s/|s|), evaluated as
 // |s|²·recip(1+|s|²)·invsqrt(|s|²)·s.
+//
+//pimcaps:hotpath
 func squashInto(mathOps RoutingMath, dst, src []float32) {
 	var sq float32
 	for _, v := range src {

@@ -1,3 +1,5 @@
+//pimcaps:bitexact
+
 package capsnet
 
 import (

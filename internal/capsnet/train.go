@@ -44,6 +44,11 @@ func (t *Trainer) TrainBatch(batch *tensor.Tensor, labels []int) (loss float32, 
 		panic(fmt.Sprintf("capsnet: %d labels for batch of %d", len(labels), nb))
 	}
 	out := t.Net.Forward(batch, t.Math)
+	// Everything below reads out's tensors before returning, so the
+	// scratch arena can go back to the Network's pool on exit: without
+	// this, every training step abandons its arena and allocates a
+	// fresh slab on the next Forward (releasecheck enforces this).
+	defer out.Release()
 	nc, dd := t.Net.Config.Classes, t.Net.Config.DigitDim
 	nl, dl := t.Net.Digit.NumIn, t.Net.Digit.DimIn
 
@@ -140,6 +145,7 @@ func (t *Trainer) TrainBatch(batch *tensor.Tensor, labels []int) (loss float32, 
 // images/labels using mathOps for routing numerics.
 func Evaluate(net *Network, images *tensor.Tensor, labels []int, mathOps RoutingMath) float64 {
 	out := net.Forward(images, mathOps)
+	defer out.Release()
 	preds := out.Predictions()
 	correct := 0
 	for k, p := range preds {

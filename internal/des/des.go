@@ -80,8 +80,11 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if h[i].at < h[j].at {
+		return true
+	}
+	if h[i].at > h[j].at {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }

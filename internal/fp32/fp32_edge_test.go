@@ -1,3 +1,5 @@
+//pimcaps:bitexact
+
 package fp32
 
 import (

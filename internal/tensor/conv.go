@@ -35,6 +35,8 @@ func (s ConvSpec) Validate() error {
 // have length (oh*ow)·(Cin·K·K). It is the allocation-free kernel
 // behind Im2Col: callers on the hot path pass an arena-carved cols
 // buffer and reuse it across samples.
+//
+//pimcaps:hotpath
 func Im2ColInto(cols, input []float32, spec ConvSpec, h, w int) {
 	cin := spec.Cin
 	if len(input) != cin*h*w {
@@ -90,6 +92,8 @@ func Im2Col(input *Tensor, spec ConvSpec) *Tensor {
 // (oh*ow)·(Cin·K·K). Every element of dst is overwritten. The loop
 // order is identical to Conv2D, so results are bit-identical; the only
 // difference is that the caller owns (and reuses) both buffers.
+//
+//pimcaps:hotpath
 func Conv2DInto(dst, cols, input, weights, bias []float32, spec ConvSpec, h, w int) {
 	oh, ow := spec.OutSize(h, w)
 	n := oh * ow

@@ -97,6 +97,8 @@ func (t *Tensor) Clone() *Tensor {
 // arenas that re-bind views every forward pass). The slice is used
 // directly, not copied. It panics if len(data) does not match the
 // shape volume. Returns t for chaining.
+//
+//pimcaps:hotpath
 func (t *Tensor) Reuse(data []float32, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -151,6 +153,7 @@ func (t *Tensor) Equal(o *Tensor) bool {
 		}
 	}
 	for i := range t.data {
+		//lint:ignore pimcaps/floateqcheck Equal is the bit-identity primitive the determinism tests are built on; tolerance belongs in AllClose.
 		if t.data[i] != o.data[i] {
 			return false
 		}
@@ -323,6 +326,8 @@ func Squash(dst, src []float32) {
 }
 
 // ReLU applies max(0,x) elementwise in place.
+//
+//pimcaps:hotpath
 func ReLU(x []float32) {
 	for i, v := range x {
 		if v < 0 {
