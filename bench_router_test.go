@@ -1,0 +1,125 @@
+package pimcapsnet_bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pimcapsnet/internal/cluster"
+)
+
+// BenchmarkRouterThroughput measures replica-tier scaling: the same
+// closed-loop client load driven through the cluster dispatcher over 1
+// and over 3 real capsnet-serve subprocesses, each pinned to
+// GOMAXPROCS=1 so a replica models one PIM "vault" worth of compute
+// and tier scaling is visible on multicore hosts (on a single-core
+// host the replicas share one CPU and the ratio collapses to ~1×;
+// CI's router-smoke job runs this on multicore runners, where
+// replicas3 should sustain ≥2× the replicas1 req/s).
+//
+// Informational only — gated behind ROUTER_BENCH=1 so the blocking
+// bench-gate job and plain `go test -bench=.` never boot subprocesses.
+func BenchmarkRouterThroughput(b *testing.B) {
+	if os.Getenv("ROUTER_BENCH") == "" {
+		b.Skip("boots replica subprocesses; set ROUTER_BENCH=1 to run (CI router-smoke job does)")
+	}
+	bin := filepath.Join(b.TempDir(), "capsnet-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/capsnet-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		b.Fatalf("building capsnet-serve: %v\n%s", err, out)
+	}
+
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas%d", n), func(b *testing.B) {
+			mgr, err := cluster.NewManager(cluster.ManagerConfig{
+				Binary: bin,
+				Args: []string{
+					"-demo-classes", "10",
+					"-max-batch", "8",
+					"-queue", "1024",
+					"-timeout", "1m",
+				},
+				Env:      []string{"GOMAXPROCS=1"},
+				Replicas: n,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr.Start()
+			defer mgr.Stop()
+			if err := cluster.WaitReady(mgr, n, 60*time.Second); err != nil {
+				b.Fatalf("replicas never ready: %v", err)
+			}
+			disp, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+				Pool:       mgr,
+				HedgeDelay: -1, // hedges would double-count work in a throughput measurement
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(disp.Handler())
+			defer ts.Close()
+
+			var info struct {
+				Channels, Height, Width int
+			}
+			resp, err := http.Get(ts.URL + "/v1/model")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			img := make([]float32, info.Channels*info.Height*info.Width)
+			for i := range img {
+				img[i] = float32(i%7) / 7
+			}
+			body, err := json.Marshal(map[string]any{"image": img})
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			const clients = 16
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+			b.ResetTimer()
+			work := make(chan struct{}, b.N)
+			for i := 0; i < b.N; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range work {
+						resp, err := client.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("status %d", resp.StatusCode)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}

@@ -32,6 +32,11 @@
 //	              [-trace-sample 0.1] [-trace-buffer 256] [-trace-out run.json]
 //	capsnet-serve -demo-classes 5    # seeded untrained demo network
 //
+// Chaos drills (used by the capsnet-router e2e): -chaos-stall 2s
+// stalls the first -chaos-stall-arm batches before inference, and
+// -chaos-corrupt 4 poisons images of the first -chaos-corrupt-arm
+// batches with seeded non-finite values (-chaos-seed for replay).
+//
 // SIGTERM/SIGINT trigger graceful shutdown: readiness flips to 503,
 // open connections and queued batches drain, then the process exits 0.
 package main
@@ -47,8 +52,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/fault"
 	"pimcapsnet/internal/obs"
 	"pimcapsnet/internal/serve"
 )
@@ -69,6 +76,11 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to record full span timelines for (0 disables, 1 records all)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "completed request traces retained for /debug/requests/trace")
 	traceOut := flag.String("trace-out", "", "write the retained request traces as Chrome trace JSON here at shutdown")
+	chaosStall := flag.Duration("chaos-stall", 0, "CHAOS: stall armed batches this long before inference (0 disables)")
+	chaosStallArm := flag.Int("chaos-stall-arm", 1, "CHAOS: how many batches -chaos-stall fires on")
+	chaosCorrupt := flag.Int("chaos-corrupt", 0, "CHAOS: non-finite values injected per image on armed batches (0 disables)")
+	chaosCorruptArm := flag.Int("chaos-corrupt-arm", 1, "CHAOS: how many batches -chaos-corrupt fires on")
+	chaosSeed := flag.Int64("chaos-seed", 1, "CHAOS: fault-injection seed (logged for replay)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -103,6 +115,7 @@ func main() {
 		TraceSample:    *traceSample,
 		TraceBuffer:    *traceBuffer,
 		Logger:         logger,
+		PreRunHook:     chaosHook(logger, *chaosSeed, *chaosStall, *chaosStallArm, *chaosCorrupt, *chaosCorruptArm),
 	}, metrics)
 	if err != nil {
 		fatal("building server", err)
@@ -160,6 +173,33 @@ func main() {
 		}
 	}
 	logger.Info("drained, exiting")
+}
+
+// chaosHook assembles the -chaos-* fault-injection hooks (armed at
+// startup, seeded for replay) into one serve.Config.PreRunHook, or nil
+// when no chaos flag is set — the zero-cost default. Chaos drills and
+// the router e2e use these to make a replica stall or corrupt its
+// first batches while the tier above must keep clients whole.
+func chaosHook(logger *slog.Logger, seed int64, stall time.Duration, stallArm int, corrupt, corruptArm int) func([][]float32) {
+	var hooks []fault.BatchHook
+	if stall > 0 {
+		g := &fault.Gate{}
+		g.Arm(stallArm)
+		hooks = append(hooks, fault.StallBatchHook(g, stall))
+	}
+	if corrupt > 0 {
+		g := &fault.Gate{}
+		g.Arm(corruptArm)
+		hooks = append(hooks, fault.CorruptBatchHook(fault.New(seed), g, corrupt))
+	}
+	if len(hooks) == 0 {
+		return nil
+	}
+	logger.Warn("chaos hooks armed",
+		slog.Int64("seed", seed),
+		slog.Duration("stall", stall), slog.Int("stall_arm", stallArm),
+		slog.Int("corrupt", corrupt), slog.Int("corrupt_arm", corruptArm))
+	return fault.ChainBatchHooks(hooks...)
 }
 
 // buildLogger constructs the process logger from the -log-level and

@@ -1,13 +1,20 @@
-// Example serve is a load-generating client for capsnet-serve: it
+// Example serve is a load-generating client for the serving stack: it
 // reads the model geometry from /v1/model, generates matching seeded
 // synthetic images, fires concurrent classify requests so the server's
 // micro-batcher has something to batch, and finally prints the
 // batching- and latency-related lines of /metrics.
 //
-// Run the server first, then the client:
+// It drives either tier. Against a single replica:
 //
 //	go run ./cmd/capsnet-serve -demo-classes 5 &
-//	go run ./examples/serve -addr http://localhost:8080 -n 64 -c 8
+//	go run ./examples/serve -target serve -addr http://localhost:8080 -n 64 -c 8
+//
+// Against the sharded replica tier (-target router also switches the
+// default address to the router's :8090 and swaps the per-stage
+// breakdown for the router's placement/retry/hedge summary):
+//
+//	go run ./cmd/capsnet-router -replicas 3 -- -demo-classes 5 &
+//	go run ./examples/serve -target router -n 64 -c 8
 package main
 
 import (
@@ -31,11 +38,24 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "capsnet-serve base URL")
+	target := flag.String("target", "serve", "tier to drive: serve (one capsnet-serve) | router (capsnet-router replica tier)")
+	addr := flag.String("addr", "", "base URL (default http://localhost:8080 for -target serve, :8090 for router)")
 	n := flag.Int("n", 64, "number of requests")
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	seed := flag.Int64("seed", 42, "synthetic image seed")
 	flag.Parse()
+
+	if *target != "serve" && *target != "router" {
+		fmt.Fprintf(os.Stderr, "unknown -target %q (want serve or router)\n", *target)
+		os.Exit(1)
+	}
+	if *addr == "" {
+		if *target == "router" {
+			*addr = "http://localhost:8090"
+		} else {
+			*addr = "http://localhost:8080"
+		}
+	}
 
 	client := &http.Client{
 		Timeout:   30 * time.Second,
@@ -111,7 +131,9 @@ func main() {
 		float64(ok.Load())/elapsed.Seconds(),
 		float64(batchSum.Load())/float64(max(ok.Load(), 1)))
 
-	// Show what the server measured.
+	// Show what the tier we hit measured: a single replica exposes the
+	// capsnet_* batching/stage histograms, the router tier its
+	// placement/retry/hedge families.
 	resp, err := client.Get(*addr + "/metrics")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fetching metrics: %v\n", err)
@@ -119,6 +141,10 @@ func main() {
 	}
 	defer resp.Body.Close()
 	text, _ := io.ReadAll(resp.Body)
+	if *target == "router" {
+		printRouterSummary(string(text))
+		return
+	}
 	fmt.Println("\nserver /metrics (batching + latency):")
 	for _, line := range strings.Split(string(text), "\n") {
 		if strings.HasPrefix(line, "capsnet_batch") ||
@@ -128,7 +154,59 @@ func main() {
 			fmt.Println("  " + line)
 		}
 	}
-	printStageBreakdown(string(text))
+	printStageBreakdown(string(text), *target)
+}
+
+// printRouterSummary renders the router tier's view of the load: how
+// placement spread requests over the replicas, and what faults cost
+// (retries, hedges) instead of the single-replica stage breakdown.
+func printRouterSummary(metrics string) {
+	fmt.Println("\nrouter /metrics (tier hit: router — placement, retries, hedges):")
+	reqRe := regexp.MustCompile(`^router_replica_requests_total\{replica="([^"]+)",code="([^"]+)"\} (\d+)$`)
+	type key struct{ replica, code string }
+	counts := make(map[key]uint64)
+	var replicas, codes []string
+	seenR, seenC := map[string]bool{}, map[string]bool{}
+	for _, line := range strings.Split(metrics, "\n") {
+		if m := reqRe.FindStringSubmatch(line); m != nil {
+			v, _ := strconv.ParseUint(m[3], 10, 64)
+			counts[key{m[1], m[2]}] = v
+			if !seenR[m[1]] {
+				seenR[m[1]] = true
+				replicas = append(replicas, m[1])
+			}
+			if !seenC[m[2]] {
+				seenC[m[2]] = true
+				codes = append(codes, m[2])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "router_retries_total") ||
+			strings.HasPrefix(line, "router_hedges_total") ||
+			strings.HasPrefix(line, "router_replica_restarts_total") ||
+			strings.HasPrefix(line, "router_request_latency_seconds_count") ||
+			strings.HasPrefix(line, "router_request_latency_seconds_sum") {
+			fmt.Println("  " + line)
+		}
+	}
+	sort.Strings(replicas)
+	sort.Strings(codes)
+	if len(replicas) == 0 {
+		return
+	}
+	fmt.Println("\nper-replica request distribution (router_replica_requests_total):")
+	fmt.Printf("  %-10s", "replica")
+	for _, c := range codes {
+		fmt.Printf(" %8s", c)
+	}
+	fmt.Println()
+	for _, r := range replicas {
+		fmt.Printf("  %-10s", r)
+		for _, c := range codes {
+			fmt.Printf(" %8d", counts[key{r, c}])
+		}
+		fmt.Println()
+	}
 }
 
 // stageStat is one capsnet_stage_seconds family parsed from the
@@ -145,7 +223,7 @@ type stageStat struct {
 // capsnet_stage_seconds histograms — where a served request's time
 // actually goes, the production counterpart of the paper's Figure 3
 // execution-time breakdown.
-func printStageBreakdown(metrics string) {
+func printStageBreakdown(metrics, tier string) {
 	stages := parseStageStats(metrics)
 	if len(stages) == 0 {
 		fmt.Println("\nno stage histograms yet (is the server older than the observability layer?)")
@@ -162,7 +240,7 @@ func printStageBreakdown(metrics string) {
 	}
 	sort.Slice(stages, func(i, j int) bool { return stages[i].sum > stages[j].sum })
 
-	fmt.Println("\nper-stage latency breakdown (capsnet_stage_seconds):")
+	fmt.Printf("\nper-stage latency breakdown (capsnet_stage_seconds, tier hit: %s):\n", tier)
 	fmt.Printf("  %-24s %8s %12s %10s %10s %7s\n", "stage", "count", "total", "p50", "p99", "share")
 	for _, s := range stages {
 		fmt.Printf("  %-24s %8d %12s %10s %10s %6.1f%%\n",

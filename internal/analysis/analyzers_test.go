@@ -19,7 +19,8 @@ func TestReleasecheck(t *testing.T) {
 func TestLayercheck(t *testing.T) {
 	t.Parallel()
 	analysistest.Run(t, analysis.Layercheck,
-		"internal/tensor", "internal/fp32", "internal/capsnet", "cmd/alpha", "cmd/beta")
+		"internal/tensor", "internal/fp32", "internal/capsnet",
+		"internal/cluster", "internal/serve", "cmd/alpha", "cmd/beta")
 }
 
 func TestHotpathcheck(t *testing.T) {

@@ -48,6 +48,16 @@ var layerRules = []layerRule{
 		Forbid: []string{"internal/obs", "internal/serve", "internal/fault"},
 		Why:    "capsnet must not depend on the serving stack; observability reaches it through the StageTimer hook",
 	},
+	{
+		Pkg:    "internal/cluster",
+		Forbid: []string{"internal/capsnet", "internal/serve", "internal/tensor"},
+		Why:    "the replica tier is model-free: it moves opaque bytes between capsnet-serve processes and speaks only the serving HTTP protocol",
+	},
+	{
+		Pkg:    "internal/serve",
+		Forbid: []string{"internal/cluster"},
+		Why:    "a replica must not know about the tier above it; the router observes replicas via /readyz, never the reverse",
+	},
 }
 
 func runLayercheck(pass *Pass) error {

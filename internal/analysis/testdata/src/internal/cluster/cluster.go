@@ -1,0 +1,9 @@
+// Package cluster is the layercheck golden for the replica-tier rule:
+// the router is model-free and must not import the model or a replica's
+// in-process API.
+package cluster
+
+import (
+	_ "internal/capsnet" // want `internal/cluster must not import internal/capsnet: the replica tier is model-free`
+	_ "internal/tensor"  // want `internal/cluster must not import internal/tensor: the replica tier is model-free`
+)

@@ -1,0 +1,7 @@
+// Package serve is the layercheck golden for the replica-layer rule: a
+// replica must not reach up into the router tier.
+package serve
+
+import (
+	_ "internal/cluster" // want `internal/serve must not import internal/cluster: a replica must not know about the tier above it`
+)

@@ -422,7 +422,7 @@ func (s *scratch) routing(st StageTimer) {
 	clear(bd) // logits start at zero, as a fresh tensor would
 	sharedB := bd[:nl*nh]
 
-	dim := choosePartition(n.Partition, nb, nl, nh, ch, s.maxW)
+	dim := ChoosePartition(n.Partition, nb, nl, nh, ch, s.maxW)
 	if dim == PartitionB {
 		n.partB.Add(1)
 	} else {

@@ -45,7 +45,7 @@ func (p Partition) String() string {
 // ceilDiv returns ⌈a/b⌉ for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// choosePartition resolves p to PartitionB or PartitionH for a routing
+// ChoosePartition resolves p to PartitionB or PartitionH for a routing
 // workload of nb samples × nl low-level capsules × nh high-level
 // capsules × ch dimensions on the given worker count, mirroring the
 // paper's execution-score model (Eqs. 6–12): for each candidate
@@ -61,7 +61,14 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // roughly one sample per worker shard on B; small batches (the
 // batch-1 serving case) shard on H so intra-sample parallelism keeps
 // the workers busy.
-func choosePartition(p Partition, nb, nl, nh, ch, workers int) Partition {
+//
+// Exported because the same work-vs-movement scoring that places
+// routing chunks on workers also places requests on serving replicas:
+// the cluster tier (internal/cluster, which deliberately does not
+// import this package) mirrors the decision through
+// distribute.Scorer.ScoreEM, and tools comparing the two tiers can
+// call this directly.
+func ChoosePartition(p Partition, nb, nl, nh, ch, workers int) Partition {
 	if p == PartitionB || p == PartitionH {
 		return p
 	}

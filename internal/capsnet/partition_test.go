@@ -18,10 +18,10 @@ func TestPartitionString(t *testing.T) {
 
 func TestChoosePartitionForced(t *testing.T) {
 	// Explicit settings pass through untouched, whatever the shape.
-	if got := choosePartition(PartitionB, 1, 1152, 10, 16, 8); got != PartitionB {
+	if got := ChoosePartition(PartitionB, 1, 1152, 10, 16, 8); got != PartitionB {
 		t.Fatalf("forced B resolved to %v", got)
 	}
-	if got := choosePartition(PartitionH, 64, 1152, 10, 16, 8); got != PartitionH {
+	if got := ChoosePartition(PartitionH, 64, 1152, 10, 16, 8); got != PartitionH {
 		t.Fatalf("forced H resolved to %v", got)
 	}
 }
@@ -29,13 +29,13 @@ func TestChoosePartitionForced(t *testing.T) {
 func TestChoosePartitionDegenerate(t *testing.T) {
 	// A single worker or an empty shape has nothing to shard; B is the
 	// neutral answer (the serial loop).
-	if got := choosePartition(PartitionAuto, 64, 1152, 10, 16, 1); got != PartitionB {
+	if got := ChoosePartition(PartitionAuto, 64, 1152, 10, 16, 1); got != PartitionB {
 		t.Fatalf("1 worker: %v", got)
 	}
-	if got := choosePartition(PartitionAuto, 0, 1152, 10, 16, 8); got != PartitionB {
+	if got := ChoosePartition(PartitionAuto, 0, 1152, 10, 16, 8); got != PartitionB {
 		t.Fatalf("nb=0: %v", got)
 	}
-	if got := choosePartition(PartitionAuto, 4, 1152, 0, 16, 8); got != PartitionB {
+	if got := ChoosePartition(PartitionAuto, 4, 1152, 0, 16, 8); got != PartitionB {
 		t.Fatalf("nh=0: %v", got)
 	}
 }
@@ -63,7 +63,7 @@ func TestChoosePartitionCostModel(t *testing.T) {
 		{"batch8-8workers", 8, 1152, 10, 16, 8, PartitionB},
 	}
 	for _, c := range cases {
-		if got := choosePartition(PartitionAuto, c.nb, c.nl, c.nh, c.ch, c.wk); got != c.want {
+		if got := ChoosePartition(PartitionAuto, c.nb, c.nl, c.nh, c.ch, c.wk); got != c.want {
 			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
 		}
 	}
@@ -83,7 +83,7 @@ func TestChoosePartitionMatchesScoreFormula(t *testing.T) {
 				if execB+execB <= execH+execH*4/3 {
 					want = PartitionB
 				}
-				if got := choosePartition(PartitionAuto, nb, nl, nh, ch, wk); got != want {
+				if got := ChoosePartition(PartitionAuto, nb, nl, nh, ch, wk); got != want {
 					t.Errorf("nb=%d nh=%d wk=%d: got %v, want %v", nb, nh, wk, got, want)
 				}
 			}

@@ -103,7 +103,7 @@ func DynamicRoutingTimed(preds *tensor.Tensor, iterations int, mathOps RoutingMa
 	// execution-score model and surface it as a zero-duration marker
 	// stage (iteration = the chosen Partition value) so stage traces
 	// record which way the workload was split.
-	dim := choosePartition(PartitionAuto, nb, nl, nh, ch, runtime.GOMAXPROCS(0))
+	dim := ChoosePartition(PartitionAuto, nb, nl, nh, ch, runtime.GOMAXPROCS(0))
 	endStage(beginStage(timer, StageRoutingPartition, int(dim)))
 
 	for it := 0; it < iterations; it++ {

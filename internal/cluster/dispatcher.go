@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pimcapsnet/internal/obs"
+)
+
+// DispatcherConfig tunes the routing front. Zero-value fields fall
+// back to the documented defaults.
+type DispatcherConfig struct {
+	// Pool supplies replica snapshots (required) — usually a *Manager.
+	Pool Pool
+	// Placer scores ready replicas per request (zero value = defaults).
+	Placer Placer
+	// Metrics receives router counters; nil allocates a private set.
+	Metrics *Metrics
+	// Logger receives per-request debug records. Nil disables logging.
+	Logger *slog.Logger
+	// MaxAttempts is the per-request retry budget, counting the first
+	// attempt. Default 4: with a probe interval of 250ms, one crashed
+	// replica costs at most one wasted attempt before the prober
+	// removes it, so 4 rides out two overlapping failures.
+	MaxAttempts int
+	// AttemptTimeout bounds one replica round trip. Default 30s (a
+	// full queue ahead of the request must be allowed to drain).
+	AttemptTimeout time.Duration
+	// HedgeDelay is how long the first attempt may remain unanswered
+	// before a hedge — a duplicate attempt on the next-best replica —
+	// launches. 0 disables hedging. Default 500ms.
+	HedgeDelay time.Duration
+	// MaxHedges is the per-request hedging budget. Default 1.
+	MaxHedges int
+	// RetryAfterCap bounds how long a replica 429's Retry-After header
+	// is honored before the next attempt. Default 1s.
+	RetryAfterCap time.Duration
+	// Client performs replica requests; nil uses a private client.
+	Client *http.Client
+}
+
+func (c DispatcherConfig) withDefaults() DispatcherConfig {
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics()
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 500 * time.Millisecond
+	}
+	if c.MaxHedges == 0 {
+		c.MaxHedges = 1
+	}
+	if c.RetryAfterCap == 0 {
+		c.RetryAfterCap = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Dispatcher is the router's HTTP front: it places each classify
+// request on a replica via the Eq. 6–12 score, forwards it, and spends
+// the retry and hedging budgets so replica faults cost attempts rather
+// than client-visible errors.
+type Dispatcher struct {
+	cfg DispatcherConfig
+	mux *http.ServeMux
+}
+
+// NewDispatcher builds the routing front over a pool.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("cluster: DispatcherConfig.Pool is required")
+	}
+	d := &Dispatcher{cfg: cfg, mux: http.NewServeMux()}
+	d.mux.HandleFunc("/v1/classify", d.handleClassify)
+	d.mux.HandleFunc("/v1/model", d.handleModel)
+	d.mux.HandleFunc("/v1/replicas", d.handleReplicas)
+	d.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	d.mux.HandleFunc("/readyz", d.handleReadyz)
+	d.mux.Handle("/metrics", cfg.Metrics.Handler())
+	return d, nil
+}
+
+// Metrics returns the dispatcher's counter set.
+func (d *Dispatcher) Metrics() *Metrics { return d.cfg.Metrics }
+
+// Handler returns the router's full HTTP surface.
+func (d *Dispatcher) Handler() http.Handler { return d.mux }
+
+func (d *Dispatcher) logger() *slog.Logger {
+	if d.cfg.Logger != nil {
+		return d.cfg.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// handleReadyz reports router readiness: dispatchable once at least
+// one replica is, mirroring the replica body shape loosely (status +
+// counts) so the same probing tools work one tier up.
+func (d *Dispatcher) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	all := d.cfg.Pool.Snapshot()
+	ready := 0
+	for _, rep := range all {
+		if rep.Ready {
+			ready++
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if ready == 0 {
+		status = "no ready replicas"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": status, "ready_replicas": ready, "replicas": len(all),
+	})
+}
+
+// handleReplicas dumps the pool snapshot — the operator's view of the
+// fleet (names, URLs, PIDs, restart counts, last probed load).
+func (d *Dispatcher) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.cfg.Pool.Snapshot())
+}
+
+// handleModel proxies the model descriptor from any ready replica —
+// all replicas serve the same checkpoint, so the first one answers.
+func (d *Dispatcher) handleModel(w http.ResponseWriter, r *http.Request) {
+	ready := Ready(d.cfg.Pool)
+	if len(ready) == 0 {
+		http.Error(w, "no ready replicas", http.StatusServiceUnavailable)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ready[0].URL+"/v1/model", nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		http.Error(w, "replica unreachable", http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// attemptResult is one replica round trip's outcome.
+type attemptResult struct {
+	replica string
+	// code is the metric outcome label: the HTTP status, "error" for
+	// transport failures, "corrupt" for invalid 200 bodies.
+	code   string
+	status int
+	header http.Header
+	body   []byte
+	// ok marks a response the client may receive verbatim.
+	ok bool
+	// terminal marks a response that should not be retried even though
+	// it failed (deterministic client errors: 400, 404, 413...).
+	terminal bool
+	// retryAfter carries a 429's backoff hint.
+	retryAfter time.Duration
+}
+
+// send performs one classify round trip against a replica and
+// classifies the outcome.
+func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, traceID string) attemptResult {
+	res := attemptResult{replica: rep.Name}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		res.code = "error"
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		res.code = "error"
+		return res
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		res.code = "error"
+		return res
+	}
+	res.status, res.header, res.body = resp.StatusCode, resp.Header, respBody
+	res.code = strconv.Itoa(resp.StatusCode)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if !validClassifyBody(respBody) {
+			// A corrupt response (truncated JSON, NaN probabilities)
+			// costs a retry, never reaches the client.
+			res.code = "corrupt"
+			return res
+		}
+		res.ok = true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			res.retryAfter = time.Duration(s) * time.Second
+		}
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The replica deterministically rejected the request body; a
+		// different replica would too. Forward the rejection.
+		res.terminal = true
+	}
+	return res
+}
+
+// validClassifyBody vets a replica 200 before it reaches the client:
+// decodable JSON, a plausible class, non-empty finite probabilities.
+func validClassifyBody(body []byte) bool {
+	var cr struct {
+		Class int       `json:"class"`
+		Probs []float64 `json:"probs"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return false
+	}
+	if len(cr.Probs) == 0 || cr.Class < 0 || cr.Class >= len(cr.Probs) {
+		return false
+	}
+	for _, p := range cr.Probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// attempt runs one placed attempt with the hedging budget: the primary
+// request goes to rep; if it stays unanswered past HedgeDelay and the
+// budget allows, a duplicate launches on alt, and whichever usable
+// response lands first wins. hedgesLeft is decremented in place.
+func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaInfo, body []byte, traceID string, hedgesLeft *int) attemptResult {
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.AttemptTimeout)
+	defer cancel()
+
+	resCh := make(chan attemptResult, 2)
+	launch := func(target ReplicaInfo) {
+		go func() { resCh <- d.send(ctx, target, body, traceID) }()
+	}
+	launch(rep)
+	launched := 1
+
+	var hedgeTimer <-chan time.Time
+	if d.cfg.HedgeDelay > 0 && alt != nil && *hedgesLeft > 0 {
+		hedgeTimer = time.After(d.cfg.HedgeDelay)
+	}
+
+	var last attemptResult
+	for received := 0; received < launched; {
+		select {
+		case res := <-resCh:
+			received++
+			d.cfg.Metrics.IncReplicaRequest(res.replica, res.code)
+			if res.ok || res.terminal {
+				// cancel() aborts the straggler attempt on return.
+				return res
+			}
+			last = res
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			*hedgesLeft--
+			d.cfg.Metrics.IncHedge()
+			d.logger().Debug("hedging attempt",
+				slog.String("trace_id", traceID),
+				slog.String("primary", rep.Name),
+				slog.String("hedge", alt.Name))
+			launch(*alt)
+			launched++
+		}
+	}
+	return last
+}
+
+// handleClassify is the routed classify path: read the body once, then
+// spend the retry budget placing and re-placing it until a valid
+// replica response (or a deterministic rejection) comes back.
+func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	traceID := r.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		traceID = obs.NewID()
+	}
+	w.Header().Set("X-Trace-Id", traceID)
+
+	key := Key(body)
+	hedgesLeft := d.cfg.MaxHedges
+	tried := make(map[string]bool)
+	var last attemptResult
+	for attemptNo := 1; attemptNo <= d.cfg.MaxAttempts; attemptNo++ {
+		if attemptNo > 1 {
+			d.cfg.Metrics.IncRetry()
+		}
+		candidates := Ready(d.cfg.Pool)
+		// Prefer replicas this request hasn't burned yet; fall back to
+		// the full ready set once everyone has failed it (a restarted
+		// replica may have recovered by then).
+		fresh := make([]ReplicaInfo, 0, len(candidates))
+		for _, c := range candidates {
+			if !tried[c.Name] {
+				fresh = append(fresh, c)
+			}
+		}
+		if len(fresh) == 0 {
+			fresh = candidates
+		}
+		if len(fresh) == 0 {
+			// Nothing dispatchable: burn the attempt on a short wait
+			// for the manager to bring a replica back.
+			time.Sleep(50 * time.Millisecond)
+			last = attemptResult{code: "no_replicas"}
+			continue
+		}
+		pick := d.cfg.Placer.Pick(key, fresh)
+		rep := fresh[pick]
+		tried[rep.Name] = true
+		var alt *ReplicaInfo
+		if len(fresh) > 1 {
+			rest := append(append([]ReplicaInfo{}, fresh[:pick]...), fresh[pick+1:]...)
+			a := rest[d.cfg.Placer.Pick(key, rest)]
+			alt = &a
+		}
+
+		res := d.attempt(r.Context(), rep, alt, body, traceID, &hedgesLeft)
+		if res.ok || res.terminal {
+			d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
+			d.logger().Debug("classify routed",
+				slog.String("trace_id", traceID),
+				slog.String("replica", res.replica),
+				slog.Int("status", res.status),
+				slog.Int("attempts", attemptNo),
+				slog.Duration("elapsed", time.Since(start)))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			w.Write(res.body)
+			return
+		}
+		last = res
+		if res.retryAfter > 0 {
+			wait := res.retryAfter
+			if wait > d.cfg.RetryAfterCap {
+				wait = d.cfg.RetryAfterCap
+			}
+			time.Sleep(wait)
+		}
+	}
+
+	// Budget exhausted. The fleet is saturated or down; tell the client
+	// to back off, mirroring the replica 429 contract one tier up.
+	d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
+	d.logger().Warn("classify budget exhausted",
+		slog.String("trace_id", traceID),
+		slog.String("last_code", last.code),
+		slog.Int("attempts", d.cfg.MaxAttempts))
+	if last.code == "429" {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "all replicas saturated", http.StatusTooManyRequests)
+		return
+	}
+	http.Error(w, "no replica produced a valid response", http.StatusBadGateway)
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"pimcapsnet/internal/distribute"
+)
+
+func mkReplicas(n int, outstanding ...int) []ReplicaInfo {
+	out := make([]ReplicaInfo, n)
+	for i := range out {
+		out[i] = ReplicaInfo{Name: fmt.Sprintf("r%d", i), URL: "http://x", Ready: true}
+		if i < len(outstanding) {
+			out[i].Load.QueueDepth = outstanding[i]
+		}
+	}
+	return out
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	a, b := Key([]byte("image-bytes")), Key([]byte("image-bytes"))
+	if a != b {
+		t.Fatalf("Key not deterministic: %x vs %x", a, b)
+	}
+	if Key([]byte("other")) == a {
+		t.Fatalf("distinct bodies collided (possible but astronomically unlikely for these fixtures)")
+	}
+}
+
+func TestHomeStableAcrossLoad(t *testing.T) {
+	reps := mkReplicas(3)
+	key := Key([]byte("some request"))
+	h := Home(key, reps)
+	if h < 0 || h >= len(reps) {
+		t.Fatalf("Home = %d out of range", h)
+	}
+	// Load must not move the home: affinity is pure hash.
+	loaded := mkReplicas(3, 100, 100, 100)
+	if g := Home(key, loaded); g != h {
+		t.Fatalf("Home moved with load: %d -> %d", h, g)
+	}
+}
+
+func TestHomeMinimalDisruption(t *testing.T) {
+	// Rendezvous property: removing one replica remaps only the keys it
+	// owned; every other key keeps its home.
+	reps := mkReplicas(4)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := Key([]byte(fmt.Sprintf("req-%d", i)))
+		before := reps[Home(key, reps)].Name
+		if before == "r3" {
+			continue // its keys must remap, nothing to check
+		}
+		after := reps[:3][Home(key, reps[:3])].Name
+		if after == before {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed replica changed home (kept %d)", moved, kept)
+	}
+	if kept == 0 {
+		t.Fatalf("degenerate fixture: no keys homed on surviving replicas")
+	}
+}
+
+func TestPickPrefersHomeWhenEven(t *testing.T) {
+	reps := mkReplicas(3, 2, 2, 2)
+	var p Placer
+	for i := 0; i < 50; i++ {
+		key := Key([]byte(fmt.Sprintf("req-%d", i)))
+		if got, home := p.Pick(key, reps), Home(key, reps); got != home {
+			t.Fatalf("key %d: Pick=%d, want home %d under even load", i, got, home)
+		}
+	}
+}
+
+func TestPickSpillsFromOverloadedHome(t *testing.T) {
+	// With Alpha=Beta=1 and MovePenalty=2, the home replica loses once
+	// its outstanding excess exceeds 2: score_home = 1/(E_h+1) vs
+	// score_peer = 1/(E_p+1+2).
+	var key uint64
+	reps := mkReplicas(3)
+	for i := 0; ; i++ {
+		key = Key([]byte(fmt.Sprintf("probe-%d", i)))
+		if Home(key, reps) == 0 {
+			break
+		}
+	}
+	var p Placer
+	cases := []struct {
+		homeLoad int
+		wantHome bool
+	}{
+		{0, true},  // idle home wins
+		{2, true},  // excess == MovePenalty: tie resolves to home
+		{3, false}, // excess > MovePenalty: spill
+		{50, false},
+	}
+	for _, tc := range cases {
+		reps := mkReplicas(3, tc.homeLoad, 0, 0)
+		got := p.Pick(key, reps)
+		if tc.wantHome && got != 0 {
+			t.Errorf("homeLoad=%d: picked r%d, want home r0", tc.homeLoad, got)
+		}
+		if !tc.wantHome && got == 0 {
+			t.Errorf("homeLoad=%d: stayed on overloaded home", tc.homeLoad)
+		}
+	}
+}
+
+func TestPickHonorsScorerWeights(t *testing.T) {
+	var key uint64
+	reps := mkReplicas(2)
+	for i := 0; ; i++ {
+		key = Key([]byte(fmt.Sprintf("probe-%d", i)))
+		if Home(key, reps) == 0 {
+			break
+		}
+	}
+	// A movement-dominant scorer (huge Beta) must pin traffic to the
+	// home no matter the load skew.
+	sticky := Placer{Scorer: distribute.Scorer{Alpha: 1, Beta: 1e9}, MovePenalty: 1}
+	if got := sticky.Pick(key, mkReplicas(2, 1000, 0)); got != 0 {
+		t.Fatalf("movement-dominant scorer left home: picked r%d", got)
+	}
+	// A work-dominant scorer (tiny Beta) must chase the idle replica.
+	spill := Placer{Scorer: distribute.Scorer{Alpha: 1, Beta: 1e-9}, MovePenalty: 1}
+	if got := spill.Pick(key, mkReplicas(2, 1000, 0)); got != 1 {
+		t.Fatalf("work-dominant scorer stayed on loaded home: picked r%d", got)
+	}
+}
+
+func TestPickEmptyAndSingle(t *testing.T) {
+	var p Placer
+	if got := p.Pick(1, nil); got != -1 {
+		t.Fatalf("Pick on empty = %d, want -1", got)
+	}
+	if got := Home(1, nil); got != -1 {
+		t.Fatalf("Home on empty = %d, want -1", got)
+	}
+	if got := p.Pick(1, mkReplicas(1, 9999)); got != 0 {
+		t.Fatalf("Pick on singleton = %d, want 0", got)
+	}
+}

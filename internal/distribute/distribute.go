@@ -168,9 +168,21 @@ func NewScorer(cfg hmc.Config) Scorer {
 	}
 }
 
+// ScoreEM returns the execution score S = 1/(αE + βM) for an
+// arbitrary largest-per-unit workload E and data movement M — Eq. 6's
+// objective detached from the vault-specific E and M models, so other
+// placement problems with the same structure can rank candidates with
+// the identical scoring. internal/cluster uses it to place requests on
+// serving replicas: E becomes a replica's outstanding work and M the
+// cache/arena warmth a request forfeits by leaving its affinity
+// replica (see DESIGN.md §8).
+func (s Scorer) ScoreEM(e, m float64) float64 {
+	return 1 / (s.Alpha*e + s.Beta*m)
+}
+
 // Score returns S for distribution of p on d.
 func (s Scorer) Score(p Params, d Dimension) float64 {
-	return 1 / (s.Alpha*p.E(d) + s.Beta*p.M(d))
+	return s.ScoreEM(p.E(d), p.M(d))
 }
 
 // Choice records the distributor's decision for one dimension.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pimcapsnet/internal/obs"
@@ -113,6 +114,14 @@ type Batcher struct {
 	mu     sync.RWMutex
 	closed bool
 
+	// inflight counts requests admitted by Submit whose outcome has not
+	// been returned to the caller yet; lastBatch remembers the size of
+	// the most recently executed batch. Together with the queue depth
+	// they form the /readyz load body the router tier's least-loaded
+	// dispatch reads.
+	inflight  atomic.Int64
+	lastBatch atomic.Int64
+
 	stop           chan struct{}
 	dispatcherDone chan struct{}
 	runnerDone     chan struct{}
@@ -155,6 +164,16 @@ func (b *Batcher) Start() {
 // QueueDepth is the current admission-queue depth.
 func (b *Batcher) QueueDepth() int { return b.q.Len() }
 
+// Inflight is the number of admitted requests whose callers are still
+// waiting on an outcome (queued, under collection, or riding the
+// in-flight batch).
+func (b *Batcher) Inflight() int { return int(b.inflight.Load()) }
+
+// LastBatchSize is the size of the most recently executed batch (0
+// before the first batch runs). LastBatchSize/MaxBatch is the batcher
+// occupancy: how full the micro-batches actually launch.
+func (b *Batcher) LastBatchSize() int { return int(b.lastBatch.Load()) }
+
 // Submit admits one image and blocks until its batch has run or ctx
 // expires. It returns the prediction and the size of the micro-batch
 // the request shared. ErrQueueFull signals backpressure; ErrClosed
@@ -177,6 +196,8 @@ func (b *Batcher) Submit(ctx context.Context, img []float32) (Prediction, int, e
 	if !admitted {
 		return Prediction{}, 0, ErrQueueFull
 	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	select {
 	case out := <-r.done:
 		return out.pred, out.batch, out.err
@@ -283,6 +304,7 @@ func (b *Batcher) runBatch(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
+	b.lastBatch.Store(int64(len(live)))
 	// launch closes the batch-assembly stage and opens the forward
 	// stage: one stamp, so the pipeline stages partition each request's
 	// time in the batcher exactly.

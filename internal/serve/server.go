@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -358,13 +359,60 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz reports readiness to take traffic: 503 once draining.
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+// LoadInfo is the machine-readable /readyz body: the load signals a
+// routing tier's least-loaded dispatch needs to rank replicas. The
+// status-code contract is unchanged — 200 while serving, 503 once
+// draining — so probes that only look at the code keep working; the
+// body upgrades from bare text to this JSON document.
+type LoadInfo struct {
+	// Status is "ready" or "draining", mirroring the status code.
+	Status string `json:"status"`
+	// QueueDepth and QueueCapacity describe the admission queue:
+	// requests admitted but not yet collected into a batch, and the
+	// bound beyond which admission returns 429.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Inflight counts admitted requests whose responses are still
+	// pending (queued, under collection, or riding the running batch) —
+	// the replica's outstanding work, the E term of the placement
+	// model.
+	Inflight int `json:"inflight"`
+	// BatchOccupancy is the most recent launched batch's fill fraction
+	// (LastBatchSize/MaxBatch): how much of the batch-sharing win the
+	// replica is currently realizing.
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	// MaxBatch is the configured micro-batch size cap.
+	MaxBatch int `json:"max_batch"`
+	// PID identifies the serving process, so a cluster controller can
+	// correlate replicas with processes (and chaos drills can kill
+	// them).
+	PID int `json:"pid"`
+}
+
+// Load snapshots the current load signals (the /readyz body).
+func (s *Server) Load() LoadInfo {
+	status := "ready"
 	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+		status = "draining"
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ready")
+	return LoadInfo{
+		Status:         status,
+		QueueDepth:     s.batcher.QueueDepth(),
+		QueueCapacity:  s.cfg.QueueSize,
+		Inflight:       s.batcher.Inflight(),
+		BatchOccupancy: float64(s.batcher.LastBatchSize()) / float64(s.cfg.MaxBatch),
+		MaxBatch:       s.cfg.MaxBatch,
+		PID:            os.Getpid(),
+	}
+}
+
+// handleReadyz reports readiness to take traffic: 503 once draining,
+// with the LoadInfo JSON body in both states.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	info := s.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if info.Status != "ready" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(info)
 }

@@ -215,6 +215,111 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestReadyzLoadBody covers the machine-readable /readyz contract the
+// router tier's prober consumes: 200 with a JSON LoadInfo while
+// serving, 503 with status "draining" afterwards, and load signals
+// (inflight, batch occupancy) that reflect real traffic. The status
+// codes must stay exactly the pre-JSON 200/503 pair.
+func TestReadyzLoadBody(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	srv, err := New(net, capsnet.ExactMath{}, Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	readyz := func() (int, LoadInfo) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("readyz Content-Type %q, want application/json", ct)
+		}
+		var info LoadInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatalf("readyz body is not LoadInfo JSON: %v", err)
+		}
+		return resp.StatusCode, info
+	}
+
+	code, info := readyz()
+	if code != http.StatusOK || info.Status != "ready" {
+		t.Fatalf("idle readyz: code %d status %q, want 200 ready", code, info.Status)
+	}
+	if info.QueueCapacity != 16 || info.MaxBatch != 4 {
+		t.Errorf("configured bounds not reported: %+v", info)
+	}
+	if info.QueueDepth != 0 || info.Inflight != 0 || info.BatchOccupancy != 0 {
+		t.Errorf("idle server reports load: %+v", info)
+	}
+	if info.PID <= 0 {
+		t.Errorf("readyz PID %d, want the serving process id", info.PID)
+	}
+
+	// Traffic moves the signals: after a completed request, inflight is
+	// back to zero but the last batch's occupancy is visible.
+	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify %d", resp.StatusCode)
+	}
+	if _, info = readyz(); info.BatchOccupancy <= 0 || info.BatchOccupancy > 1 {
+		t.Errorf("post-traffic occupancy %g, want in (0, 1]", info.BatchOccupancy)
+	}
+	if info.Inflight != 0 {
+		t.Errorf("post-traffic inflight %d, want 0", info.Inflight)
+	}
+
+	srv.StartDraining()
+	code, info = readyz()
+	if code != http.StatusServiceUnavailable || info.Status != "draining" {
+		t.Errorf("draining readyz: code %d status %q, want 503 draining", code, info.Status)
+	}
+}
+
+// TestBatcherInflightGauge pins the inflight gauge against a gated
+// batcher: admitted-but-unserved requests count, and the gauge returns
+// to zero once they complete.
+func TestBatcherInflightGauge(t *testing.T) {
+	const classes = 3
+	net, images := testNetwork(t, classes)
+	cfg := Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 4}.withDefaults()
+	m := NewMetrics()
+	b := NewBatcher(cfg, echoRun, m, net.Config.RoutingIterations)
+	b.timer = neverTimer
+	srv := newServer(net, cfg, b, m) // batcher deliberately not started
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postClassify(t, ts.URL, images[0])
+	}()
+	waitDepth(t, b, 1)
+	if got := b.Inflight(); got != 1 {
+		t.Errorf("inflight with one queued request: %d, want 1", got)
+	}
+	b.Start()
+	wg.Wait()
+	// The outcome has been delivered; the gauge must drain to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight stuck at %d after completion", b.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServerBackpressure429 wires a server around a batcher whose
 // RunFunc is gated shut, fills the admission queue, and checks the
 // HTTP layer returns 429 with Retry-After.
