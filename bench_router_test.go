@@ -2,6 +2,7 @@ package pimcapsnet_bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,7 +57,9 @@ func BenchmarkRouterThroughput(b *testing.B) {
 			}
 			mgr.Start()
 			defer mgr.Stop()
-			if err := cluster.WaitReady(mgr, n, 60*time.Second); err != nil {
+			wrCtx, wrCancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer wrCancel()
+			if err := cluster.WaitReady(wrCtx, mgr, n); err != nil {
 				b.Fatalf("replicas never ready: %v", err)
 			}
 			disp, err := cluster.NewDispatcher(cluster.DispatcherConfig{

@@ -11,6 +11,7 @@ package pimcapsnet_bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -351,7 +352,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 			ts.Close()
-			srv.Close()
+			srv.Close(context.Background())
 		})
 	}
 }

@@ -59,6 +59,8 @@ func main() {
 	retries := flag.Int("retries", 4, "per-request attempt budget (first attempt included)")
 	hedgeDelay := flag.Duration("hedge-delay", 500*time.Millisecond, "unanswered-attempt delay before a hedge launches (<0 disables)")
 	hedges := flag.Int("hedges", 1, "per-request hedging budget")
+	budget := flag.Duration("budget", 0, "default end-to-end deadline assigned to requests arriving without an X-Deadline header (0 = unbounded)")
+	expectedService := flag.Duration("expected-service", 100*time.Millisecond, "estimated replica round-trip time; hedges needing more than the remaining deadline budget are skipped")
 	movePenalty := flag.Float64("move-penalty", cluster.DefaultMovePenalty, "placement movement charge M for leaving a request's home replica")
 	alpha := flag.Float64("alpha", 1, "placement work coefficient α in S = 1/(αE + βM)")
 	beta := flag.Float64("beta", 1, "placement movement coefficient β in S = 1/(αE + βM)")
@@ -96,10 +98,13 @@ func main() {
 	}
 	mgr.Start()
 	defer mgr.Stop()
-	if err := cluster.WaitReady(mgr, *waitReady, *startTimeout); err != nil {
+	wrCtx, wrCancel := context.WithTimeout(context.Background(), *startTimeout)
+	if err := cluster.WaitReady(wrCtx, mgr, *waitReady); err != nil {
+		wrCancel()
 		mgr.Stop()
 		fatal("waiting for replicas", err)
 	}
+	wrCancel()
 
 	metrics := cluster.NewMetrics()
 	metrics.Snapshot = mgr.Snapshot
@@ -109,11 +114,13 @@ func main() {
 			Scorer:      distribute.Scorer{Alpha: *alpha, Beta: *beta},
 			MovePenalty: *movePenalty,
 		},
-		Metrics:     metrics,
-		Logger:      logger,
-		MaxAttempts: *retries,
-		HedgeDelay:  *hedgeDelay,
-		MaxHedges:   *hedges,
+		Metrics:             metrics,
+		Logger:              logger,
+		MaxAttempts:         *retries,
+		HedgeDelay:          *hedgeDelay,
+		MaxHedges:           *hedges,
+		DefaultBudget:       *budget,
+		ExpectedServiceTime: *expectedService,
 	})
 	if err != nil {
 		mgr.Stop()

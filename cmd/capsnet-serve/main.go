@@ -81,6 +81,14 @@ func main() {
 	chaosCorrupt := flag.Int("chaos-corrupt", 0, "CHAOS: non-finite values injected per image on armed batches (0 disables)")
 	chaosCorruptArm := flag.Int("chaos-corrupt-arm", 1, "CHAOS: how many batches -chaos-corrupt fires on")
 	chaosSeed := flag.Int64("chaos-seed", 1, "CHAOS: fault-injection seed (logged for replay)")
+	chaosPressure := flag.Duration("chaos-pressure", 0, "CHAOS: minimum per-batch delay for armed batches, creating queue pressure (0 disables)")
+	chaosPressureMax := flag.Duration("chaos-pressure-max", 0, "CHAOS: maximum per-batch pressure delay (defaults to -chaos-pressure: a fixed delay)")
+	chaosPressureArm := flag.Int("chaos-pressure-arm", 1, "CHAOS: how many batches -chaos-pressure fires on")
+	brownout := flag.Bool("brownout", false, "enable the adaptive-fidelity brownout controller (shed routing iterations under sustained queue pressure)")
+	brownoutEngage := flag.Duration("brownout-engage", 25*time.Millisecond, "queue wait at/above which brownout reads overload pressure")
+	brownoutRecover := flag.Duration("brownout-recover", 2*time.Millisecond, "queue wait at/below which brownout reads calm (must be below -brownout-engage)")
+	brownoutHold := flag.Duration("brownout-hold", 250*time.Millisecond, "sustained signal needed per brownout level step (up or down)")
+	brownoutApprox := flag.Bool("brownout-approx", false, "add a final brownout level that switches routing to the approximate fp32 PE math")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -115,7 +123,15 @@ func main() {
 		TraceSample:    *traceSample,
 		TraceBuffer:    *traceBuffer,
 		Logger:         logger,
-		PreRunHook:     chaosHook(logger, *chaosSeed, *chaosStall, *chaosStallArm, *chaosCorrupt, *chaosCorruptArm),
+		Brownout: serve.BrownoutConfig{
+			Enabled:          *brownout,
+			EngageThreshold:  *brownoutEngage,
+			RecoverThreshold: *brownoutRecover,
+			Hold:             *brownoutHold,
+			AllowApprox:      *brownoutApprox,
+		},
+		PreRunHook: chaosHook(logger, *chaosSeed, *chaosStall, *chaosStallArm, *chaosCorrupt, *chaosCorruptArm,
+			*chaosPressure, *chaosPressureMax, *chaosPressureArm),
 	}, metrics)
 	if err != nil {
 		fatal("building server", err)
@@ -161,7 +177,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(ctx); err != nil {
 		logger.Warn("batcher drain", slog.String("error", err.Error()))
 	}
 	if *traceOut != "" {
@@ -180,7 +196,8 @@ func main() {
 // when no chaos flag is set — the zero-cost default. Chaos drills and
 // the router e2e use these to make a replica stall or corrupt its
 // first batches while the tier above must keep clients whole.
-func chaosHook(logger *slog.Logger, seed int64, stall time.Duration, stallArm int, corrupt, corruptArm int) func([][]float32) {
+func chaosHook(logger *slog.Logger, seed int64, stall time.Duration, stallArm int, corrupt, corruptArm int,
+	pressure, pressureMax time.Duration, pressureArm int) func([][]float32) {
 	var hooks []fault.BatchHook
 	if stall > 0 {
 		g := &fault.Gate{}
@@ -192,13 +209,23 @@ func chaosHook(logger *slog.Logger, seed int64, stall time.Duration, stallArm in
 		g.Arm(corruptArm)
 		hooks = append(hooks, fault.CorruptBatchHook(fault.New(seed), g, corrupt))
 	}
+	if pressure > 0 {
+		if pressureMax < pressure {
+			pressureMax = pressure
+		}
+		g := &fault.Gate{}
+		g.Arm(pressureArm)
+		hooks = append(hooks, fault.PressureBatchHook(fault.New(seed), g, pressure, pressureMax))
+	}
 	if len(hooks) == 0 {
 		return nil
 	}
 	logger.Warn("chaos hooks armed",
 		slog.Int64("seed", seed),
 		slog.Duration("stall", stall), slog.Int("stall_arm", stallArm),
-		slog.Int("corrupt", corrupt), slog.Int("corrupt_arm", corruptArm))
+		slog.Int("corrupt", corrupt), slog.Int("corrupt_arm", corruptArm),
+		slog.Duration("pressure", pressure), slog.Duration("pressure_max", pressureMax),
+		slog.Int("pressure_arm", pressureArm))
 	return fault.ChainBatchHooks(hooks...)
 }
 

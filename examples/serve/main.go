@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"pimcapsnet/internal/dataset"
+	"pimcapsnet/internal/deadline"
 	"pimcapsnet/internal/serve"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	n := flag.Int("n", 64, "number of requests")
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	seed := flag.Int64("seed", 42, "synthetic image seed")
+	budget := flag.Duration("deadline", 0, "per-request end-to-end budget sent as the X-Deadline header (0 = none); expired requests come back 504")
 	flag.Parse()
 
 	if *target != "serve" && *target != "router" {
@@ -89,7 +91,7 @@ func main() {
 	}
 
 	// Fire the load.
-	var ok, rejected atomic.Int64
+	var ok, rejected, expired atomic.Int64
 	var batchSum atomic.Int64
 	work := make(chan int, *n)
 	for i := 0; i < *n; i++ {
@@ -103,21 +105,36 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				resp, err := client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(bodies[i]))
+				req, err := http.NewRequest(http.MethodPost, *addr+"/v1/classify", bytes.NewReader(bodies[i]))
+				if err != nil {
+					panic(err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *budget > 0 {
+					// The absolute deadline is stamped per attempt so
+					// queueing inside the client pool does not silently
+					// eat the budget before the request leaves.
+					deadline.Set(req.Header, time.Now().Add(*budget))
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
 					continue
 				}
 				var cr serve.ClassifyResponse
-				if resp.StatusCode == http.StatusOK {
+				switch resp.StatusCode {
+				case http.StatusOK:
 					json.NewDecoder(resp.Body).Decode(&cr)
 					ok.Add(1)
 					batchSum.Add(int64(cr.Batch))
-				} else {
+				case http.StatusTooManyRequests:
 					io.Copy(io.Discard, resp.Body)
-					if resp.StatusCode == http.StatusTooManyRequests {
-						rejected.Add(1)
-					}
+					rejected.Add(1)
+				case http.StatusGatewayTimeout:
+					io.Copy(io.Discard, resp.Body)
+					expired.Add(1)
+				default:
+					io.Copy(io.Discard, resp.Body)
 				}
 				resp.Body.Close()
 			}
@@ -126,8 +143,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("%d ok, %d rejected (429) in %v — %.1f req/s, mean ridden batch %.2f\n",
-		ok.Load(), rejected.Load(), elapsed.Round(time.Millisecond),
+	fmt.Printf("%d ok, %d rejected (429), %d expired (504) in %v — %.1f req/s, mean ridden batch %.2f\n",
+		ok.Load(), rejected.Load(), expired.Load(), elapsed.Round(time.Millisecond),
 		float64(ok.Load())/elapsed.Seconds(),
 		float64(batchSum.Load())/float64(max(ok.Load(), 1)))
 

@@ -37,3 +37,9 @@ func TestPaniccheck(t *testing.T) {
 	t.Parallel()
 	analysistest.Run(t, analysis.Paniccheck, "paniccheck")
 }
+
+func TestCtxcheck(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Ctxcheck,
+		"ctxcheck/internal/serve", "ctxcheck/internal/cluster", "ctxcheck/internal/other")
+}

@@ -44,6 +44,11 @@ var layerRules = []layerRule{
 		Why:        "fp32 is the numeric bottom layer and may import only the standard library",
 	},
 	{
+		Pkg:        "internal/deadline",
+		StdlibOnly: true,
+		Why:        "deadline is a wire contract shared by serve and cluster across the tier boundary; importing either side would create a cycle through the layer DAG",
+	},
+	{
 		Pkg:    "internal/capsnet",
 		Forbid: []string{"internal/obs", "internal/serve", "internal/fault"},
 		Why:    "capsnet must not depend on the serving stack; observability reaches it through the StageTimer hook",

@@ -7,10 +7,10 @@ import (
 )
 
 // TestSuiteContents pins the suite's composition: CI annotations,
-// Makefile docs, and DESIGN.md all name these five checks.
+// Makefile docs, and DESIGN.md all name these six checks.
 func TestSuiteContents(t *testing.T) {
 	t.Parallel()
-	want := []string{"releasecheck", "layercheck", "hotpathcheck", "floateqcheck", "paniccheck"}
+	want := []string{"releasecheck", "layercheck", "hotpathcheck", "floateqcheck", "paniccheck", "ctxcheck"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -10,5 +10,6 @@ func Suite() []*Analyzer {
 		Hotpathcheck,
 		Floateqcheck,
 		Paniccheck,
+		Ctxcheck,
 	}
 }

@@ -1,0 +1,38 @@
+// Package cluster is the ctxcheck golden for the router tier,
+// including the justified-suppression path for process-teardown joins.
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitReady takes ctx first: clean.
+func WaitReady(ctx context.Context, ch chan struct{}) error {
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type Manager struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// Stop is the documented exception: the teardown join is bounded by
+// the supervised goroutines' own stop handling, and no caller context
+// exists at process exit.
+//
+//lint:ignore pimcaps/ctxcheck teardown join is bounded by the stop channel; no caller context exists at process exit
+func (m *Manager) Stop() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// Kill is the same join without the justification: rule 1 fires.
+func (m *Manager) Kill() { // want `exported Kill blocks on sync.WaitGroup.Wait`
+	m.wg.Wait()
+}

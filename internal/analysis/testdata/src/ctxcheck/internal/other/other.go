@@ -1,0 +1,9 @@
+// Package other sits outside the serving tiers: ctxcheck leaves it
+// alone even though it blocks context-free and mints a root.
+package other
+
+import "context"
+
+func Drain(ch chan int) int { return <-ch }
+
+func Root() context.Context { return context.Background() }

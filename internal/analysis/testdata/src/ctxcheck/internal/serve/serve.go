@@ -1,0 +1,88 @@
+// Package serve is the ctxcheck golden for the replica tier: exported
+// blocking entry points must accept a context, and request-path code
+// must not mint root contexts.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Batcher struct {
+	ch   chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Submit takes ctx first and may block: clean.
+func (b *Batcher) Submit(ctx context.Context, v int) error {
+	select {
+	case b.ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close joins the workers without a context: rule 1.
+func (b *Batcher) Close() { // want `exported Close blocks on sync.WaitGroup.Wait but has no context.Context first parameter`
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// Drain receives without a context: rule 1.
+func Drain(ch chan int) int { // want `exported Drain blocks on a channel receive`
+	return <-ch
+}
+
+// Push sends without a context: rule 1.
+func Push(ch chan int, v int) { // want `exported Push blocks on a channel send`
+	ch <- v
+}
+
+// Warm sleeps without a context: rule 1.
+func Warm() { // want `exported Warm blocks on time.Sleep`
+	time.Sleep(time.Millisecond)
+}
+
+// Collect waits on a bare select without a context: rule 1.
+func (b *Batcher) Collect() int { // want `exported Collect blocks on a select`
+	select {
+	case v := <-b.ch:
+		return v
+	case <-b.stop:
+		return 0
+	}
+}
+
+// TryPush polls with a default clause — non-blocking, clean.
+func (b *Batcher) TryPush(v int) bool {
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Start only spawns a goroutine; the closure's blocking belongs to the
+// goroutine, not the caller: clean.
+func (b *Batcher) Start() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		<-b.stop
+	}()
+}
+
+// drain is unexported: rule 1 does not apply, rule 2 still does.
+func drain(b *Batcher) error {
+	v := <-b.ch
+	return b.Submit(context.Background(), v) // want `context.Background mints an unbounded root context`
+}
+
+// Later defers the deadline decision: rule 2.
+func Later() context.Context {
+	return context.TODO() // want `context.TODO mints an unbounded root context`
+}

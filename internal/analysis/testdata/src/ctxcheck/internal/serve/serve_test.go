@@ -1,0 +1,18 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests are exempt from both rules: harnesses mint root contexts and
+// hold uncancellable waits on purpose.
+func TestSubmit(t *testing.T) {
+	b := &Batcher{ch: make(chan int, 1), stop: make(chan struct{})}
+	if err := b.Submit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(b.ch); got != 1 {
+		t.Fatalf("Drain = %d, want 1", got)
+	}
+}

@@ -140,6 +140,9 @@ type scratch struct {
 	nb   int
 	in   []float32
 	math RoutingMath
+	// aborted is set by routing when the Network's Cancel hook fired
+	// between iterations; forward reads it into Output.Aborted.
+	aborted bool
 
 	// Reused tensor views over the buffers above, re-bound per call.
 	uT, bT, cT, vT, lengthsT *tensor.Tensor
@@ -415,6 +418,19 @@ func (s *scratch) routing(st StageTimer) {
 	nb, nl, nh, ch := s.nb, s.nl, s.nh, s.ch
 	mode := n.Digit.Mode
 	iterations := n.Digit.Iterations
+	// The brownout iteration override can only shed iterations (floor
+	// 1), never add them; with the hook nil the count — and the whole
+	// loop — is bit-identical to the unhooked path.
+	if lim := n.IterationLimit; lim != nil {
+		if k := lim(); k < iterations {
+			if k < 1 {
+				k = 1
+			}
+			iterations = k
+		}
+	}
+	cancel := n.Cancel
+	s.aborted = false
 	mathOps := s.math
 	bd := s.b[:nb*nl*nh]
 	cd := s.c[:nb*nl*nh]
@@ -431,6 +447,14 @@ func (s *scratch) routing(st StageTimer) {
 	endStage(beginStage(st, StageRoutingPartition, int(dim)))
 
 	for it := 0; it < iterations; it++ {
+		// Cooperative cancellation: polled between iterations (including
+		// before the first), so an all-expired batch stops burning the
+		// most expensive stage of the pass and the arena goes straight
+		// back to the pool via Release.
+		if cancel != nil && cancel() {
+			s.aborted = true
+			return
+		}
 		iterEnd := beginStage(st, StageRoutingIteration, it)
 
 		end := beginStage(st, StageRoutingSoftmax, it)

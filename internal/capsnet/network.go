@@ -107,6 +107,29 @@ type Network struct {
 	// default — costs one pointer check per forward pass.
 	RoutingInputHook func(data []float32)
 
+	// Cancel, when non-nil, is polled at the top of every dynamic-
+	// routing iteration; returning true aborts the forward pass
+	// cooperatively (Output.Aborted is set, the finite guard and length
+	// computation are skipped, and the Output carries partial garbage —
+	// only Release is meaningful on it). Like Stages and
+	// RoutingInputHook this keeps capsnet free of context/serving
+	// imports: the serving layer supplies a closure over whatever
+	// cancellation source it owns. nil — the default — costs one pointer
+	// check per routing run and the routing loop is bit-identical to an
+	// unhooked one.
+	Cancel CancelCheck
+
+	// IterationLimit, when non-nil, is consulted once per routing run
+	// and may lower that run's iteration count below
+	// Config.RoutingIterations (values < 1 are clamped to 1; values ≥
+	// the configured count are ignored — the hook can only shed work,
+	// never add it). The serving layer's brownout controller uses it to
+	// trade routing fidelity for latency under overload, the dynamic
+	// version of the static iteration-count dial CapsAcc/FastCaps
+	// exploit. nil — the default — leaves the iteration count exactly
+	// Config.RoutingIterations.
+	IterationLimit func() int
+
 	// Stages, when non-nil, observes every stage boundary of a forward
 	// pass (conv, primary caps, prediction vectors, each routing
 	// iteration and its sub-phases, the finite guard) — the injection
@@ -147,6 +170,13 @@ type Network struct {
 	partB       atomic.Uint64
 	partH       atomic.Uint64
 }
+
+// CancelCheck reports whether an in-flight forward pass should stop
+// early. Implementations must be safe to call from the goroutine
+// running the forward pass and should be cheap (it is polled once per
+// routing iteration); an atomic load is the intended shape. See
+// Network.Cancel.
+type CancelCheck func() bool
 
 // RoutingFallbacks returns how many samples' routing has been re-run
 // with exact math after the approximate path produced non-finite
@@ -199,6 +229,12 @@ type Output struct {
 	// inputs themselves were corrupt); serving layers must fail these
 	// samples instead of emitting NaN probabilities.
 	NonFinite []int
+	// Aborted reports that the Network's Cancel hook stopped the pass
+	// between routing iterations: every tensor above holds partial
+	// state, the finite guard and lengths never ran, and the only
+	// correct use of the Output is Release. Serving layers fail the
+	// batch's requests with their own typed error.
+	Aborted bool
 
 	// scr is the scratch arena backing every tensor above; Release
 	// returns it to the Network's pool (see arena.go).
@@ -273,7 +309,14 @@ func (n *Network) forward(scr *scratch, mathOps RoutingMath) *Output {
 	out.Primary = scr.uT
 	out.ExactFallbacks = nil
 	out.NonFinite = nil
+	out.Aborted = scr.aborted
 	out.scr = scr
+	if scr.aborted {
+		// Cooperative abort: the caller only wants the arena back, so
+		// the finite guard and length computation — work on partial
+		// routing state — are skipped entirely.
+		return out
+	}
 	end = beginStage(st, StageFiniteGuard, -1)
 	n.finiteGuard(scr.uT, out, mathOps)
 	endStage(end)

@@ -38,6 +38,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -126,17 +127,21 @@ func probeReadyz(client *http.Client, url string) (Load, bool, error) {
 	}
 }
 
-// WaitReady polls p until at least n replicas are ready or the timeout
-// expires — the startup barrier callers use before opening traffic.
-func WaitReady(p Pool, n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+// WaitReady polls p until at least n replicas are ready or ctx is
+// done — the startup barrier callers use before opening traffic.
+// Callers bound the wait with context.WithTimeout (or cancel it to
+// abandon startup).
+func WaitReady(ctx context.Context, p Pool, n int) error {
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
 	for {
 		if len(Ready(p)) >= n {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: %d replicas not ready within %v", n, timeout)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: %d replicas not ready: %w", n, ctx.Err())
+		case <-ticker.C:
 		}
-		time.Sleep(25 * time.Millisecond)
 	}
 }

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimcapsnet/internal/deadline"
+)
+
+// fakeClock is a mutable time source the deadline tests inject as
+// DispatcherConfig.Clock, so deadline arithmetic is exercised without
+// real waits.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestDispatchForwardsDeadlineHeader: the client's absolute deadline
+// header reaches the replica verbatim on every attempt.
+func TestDispatchForwardsDeadlineHeader(t *testing.T) {
+	var seen atomic.Value
+	_, rep := fakeReplica(t, "r0", func(w http.ResponseWriter, r *http.Request) {
+		seen.Store(r.Header.Get(deadline.Header))
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, goodBody)
+	})
+	d := newTestDispatcher(t, DispatcherConfig{Pool: &staticPool{reps: []ReplicaInfo{rep}}})
+
+	dl := time.Now().Add(time.Minute)
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: deadline.Format(dl)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	if got := seen.Load(); got != deadline.Format(dl) {
+		t.Fatalf("replica saw deadline header %v, want %q", got, deadline.Format(dl))
+	}
+}
+
+// TestDispatchDefaultBudgetStampsDeadline: a headerless request gets
+// now+DefaultBudget as its deadline, visible to the replica.
+func TestDispatchDefaultBudgetStampsDeadline(t *testing.T) {
+	var seen atomic.Value
+	_, rep := fakeReplica(t, "r0", func(w http.ResponseWriter, r *http.Request) {
+		seen.Store(r.Header.Get(deadline.Header))
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, goodBody)
+	})
+	clk := newFakeClock()
+	d := newTestDispatcher(t, DispatcherConfig{
+		Pool:          &staticPool{reps: []ReplicaInfo{rep}},
+		DefaultBudget: 10 * time.Second,
+		Clock:         clk.Now,
+	})
+
+	w := classify(t, d, `{"image":[0.5]}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	want := deadline.Format(clk.Now().Add(10 * time.Second))
+	if got := seen.Load(); got != want {
+		t.Fatalf("replica saw deadline header %v, want %q (now+DefaultBudget)", got, want)
+	}
+}
+
+// TestDispatchInvalidDeadlineRejected: a malformed deadline header is a
+// client error, not a routed request.
+func TestDispatchInvalidDeadlineRejected(t *testing.T) {
+	var hits atomic.Int64
+	_, rep := fakeReplica(t, "r0", okHandler(&hits))
+	d := newTestDispatcher(t, DispatcherConfig{Pool: &staticPool{reps: []ReplicaInfo{rep}}})
+
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: "soon"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("replica hit %d times for an invalid deadline, want 0", hits.Load())
+	}
+}
+
+// TestDispatchNoAttemptAfterDeadline is the core no-dead-work
+// guarantee: once the (fake) clock passes the deadline, no retry fires
+// — the first failing attempt is the only replica contact, the retry
+// counter stays at zero, and the client gets 504 with the exhaustion
+// metric incremented.
+func TestDispatchNoAttemptAfterDeadline(t *testing.T) {
+	clk := newFakeClock()
+	var hits atomic.Int64
+	_, rep := fakeReplica(t, "r0", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		// The attempt consumes the whole budget: the next loop
+		// iteration's deadline check must stop the request.
+		clk.Advance(2 * time.Second)
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	d := newTestDispatcher(t, DispatcherConfig{
+		Pool:        &staticPool{reps: []ReplicaInfo{rep}},
+		MaxAttempts: 4,
+		HedgeDelay:  -1,
+		Clock:       clk.Now,
+	})
+
+	dl := clk.Now().Add(time.Second)
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: deadline.Format(dl)})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", w.Code, w.Body.String())
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("replica hit %d times, want 1 (no retries past the deadline)", hits.Load())
+	}
+	if got := d.Metrics().Retries(); got != 0 {
+		t.Fatalf("router_retries_total = %d, want 0", got)
+	}
+	if got := d.Metrics().DeadlinesExhausted(); got != 1 {
+		t.Fatalf("router_deadline_exhausted_total = %d, want 1", got)
+	}
+}
+
+// TestDispatchExpiredOnArrival: a request whose deadline already
+// passed is answered 504 without any replica contact.
+func TestDispatchExpiredOnArrival(t *testing.T) {
+	clk := newFakeClock()
+	var hits atomic.Int64
+	_, rep := fakeReplica(t, "r0", okHandler(&hits))
+	d := newTestDispatcher(t, DispatcherConfig{
+		Pool:  &staticPool{reps: []ReplicaInfo{rep}},
+		Clock: clk.Now,
+	})
+
+	dl := clk.Now().Add(-time.Second)
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: deadline.Format(dl)})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", w.Code)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("replica hit %d times for a dead-on-arrival request, want 0", hits.Load())
+	}
+	if got := d.Metrics().DeadlinesExhausted(); got != 1 {
+		t.Fatalf("router_deadline_exhausted_total = %d, want 1", got)
+	}
+}
+
+// TestDispatchSkipsHedgeNearDeadline: with less runway than HedgeDelay
+// + ExpectedServiceTime remaining, the hedge is vetoed (counted in
+// router_hedges_skipped_total) and only one replica is contacted.
+func TestDispatchSkipsHedgeNearDeadline(t *testing.T) {
+	clk := newFakeClock()
+	var hits0, hits1 atomic.Int64
+	_, rep0 := fakeReplica(t, "r0", okHandler(&hits0))
+	_, rep1 := fakeReplica(t, "r1", okHandler(&hits1))
+	d := newTestDispatcher(t, DispatcherConfig{
+		Pool:                &staticPool{reps: []ReplicaInfo{rep0, rep1}},
+		HedgeDelay:          10 * time.Millisecond,
+		MaxHedges:           1,
+		ExpectedServiceTime: 100 * time.Millisecond,
+		Clock:               clk.Now,
+	})
+
+	// 50ms of budget < 10ms hedge delay + 100ms expected service.
+	dl := clk.Now().Add(50 * time.Millisecond)
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: deadline.Format(dl)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	if got := d.Metrics().HedgesSkipped(); got != 1 {
+		t.Fatalf("router_hedges_skipped_total = %d, want 1", got)
+	}
+	if got := d.Metrics().Hedges(); got != 0 {
+		t.Fatalf("router_hedges_total = %d, want 0", got)
+	}
+	if total := hits0.Load() + hits1.Load(); total != 1 {
+		t.Fatalf("replicas hit %d times, want exactly 1 (no hedge)", total)
+	}
+}
+
+// TestDispatchCapsRetryAfterByDeadline: a replica 429's Retry-After
+// backoff is slept only up to the remaining budget, then the request
+// ends 504 instead of sleeping past its own deadline.
+func TestDispatchCapsRetryAfterByDeadline(t *testing.T) {
+	clk := newFakeClock()
+	_, rep := fakeReplica(t, "r0", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	d := newTestDispatcher(t, DispatcherConfig{
+		Pool:          &staticPool{reps: []ReplicaInfo{rep}},
+		MaxAttempts:   4,
+		HedgeDelay:    -1,
+		RetryAfterCap: 10 * time.Second, // deliberately above the budget
+		Clock:         clk.Now,
+	})
+	var slept []time.Duration
+	d.sleep = func(dur time.Duration) {
+		slept = append(slept, dur)
+		clk.Advance(dur)
+	}
+
+	dl := clk.Now().Add(500 * time.Millisecond)
+	w := classify(t, d, `{"image":[0.5]}`, map[string]string{deadline.Header: deadline.Format(dl)})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", w.Code, w.Body.String())
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1 (then the deadline check ends the request)", len(slept))
+	}
+	if slept[0] > 500*time.Millisecond {
+		t.Fatalf("Retry-After sleep %v exceeds the 500ms remaining budget", slept[0])
+	}
+}

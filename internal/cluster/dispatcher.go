@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"pimcapsnet/internal/deadline"
 	"pimcapsnet/internal/obs"
 )
 
@@ -43,6 +44,20 @@ type DispatcherConfig struct {
 	// RetryAfterCap bounds how long a replica 429's Retry-After header
 	// is honored before the next attempt. Default 1s.
 	RetryAfterCap time.Duration
+	// DefaultBudget, when positive, assigns requests arriving without a
+	// deadline header an absolute deadline now+DefaultBudget, so every
+	// downstream attempt is deadline-bounded. 0 (the default) leaves
+	// headerless requests unbounded, preserving the pre-deadline
+	// behavior.
+	DefaultBudget time.Duration
+	// ExpectedServiceTime is the router's estimate of one replica round
+	// trip under normal load, used to veto hedges that cannot finish
+	// inside the remaining deadline budget (a hedge needs HedgeDelay +
+	// ExpectedServiceTime of runway). Default 100ms.
+	ExpectedServiceTime time.Duration
+	// Clock overrides the dispatcher's time source; nil means time.Now.
+	// Tests inject a fake clock for deterministic deadline arithmetic.
+	Clock obs.Clock
 	// Client performs replica requests; nil uses a private client.
 	Client *http.Client
 }
@@ -66,6 +81,9 @@ func (c DispatcherConfig) withDefaults() DispatcherConfig {
 	if c.RetryAfterCap == 0 {
 		c.RetryAfterCap = time.Second
 	}
+	if c.ExpectedServiceTime == 0 {
+		c.ExpectedServiceTime = 100 * time.Millisecond
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -79,6 +97,11 @@ func (c DispatcherConfig) withDefaults() DispatcherConfig {
 type Dispatcher struct {
 	cfg DispatcherConfig
 	mux *http.ServeMux
+
+	// now/sleep inject the time source and the backoff sleeps so the
+	// deadline arithmetic is testable without wall-clock waits.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // NewDispatcher builds the routing front over a pool.
@@ -87,7 +110,10 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	if cfg.Pool == nil {
 		return nil, fmt.Errorf("cluster: DispatcherConfig.Pool is required")
 	}
-	d := &Dispatcher{cfg: cfg, mux: http.NewServeMux()}
+	d := &Dispatcher{cfg: cfg, mux: http.NewServeMux(), now: time.Now, sleep: time.Sleep}
+	if cfg.Clock != nil {
+		d.now = cfg.Clock
+	}
 	d.mux.HandleFunc("/v1/classify", d.handleClassify)
 	d.mux.HandleFunc("/v1/model", d.handleModel)
 	d.mux.HandleFunc("/v1/replicas", d.handleReplicas)
@@ -189,8 +215,10 @@ type attemptResult struct {
 }
 
 // send performs one classify round trip against a replica and
-// classifies the outcome.
-func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, traceID string) attemptResult {
+// classifies the outcome. A non-zero dl is propagated as the absolute
+// deadline header so the replica can refuse or abort work the client
+// will never read.
+func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, traceID string, dl time.Time) attemptResult {
 	res := attemptResult{replica: rep.Name}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+"/v1/classify", bytes.NewReader(body))
 	if err != nil {
@@ -199,6 +227,9 @@ func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, tra
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Trace-Id", traceID)
+	if !dl.IsZero() {
+		deadline.Set(req.Header, dl)
+	}
 	resp, err := d.cfg.Client.Do(req)
 	if err != nil {
 		res.code = "error"
@@ -258,20 +289,38 @@ func validClassifyBody(body []byte) bool {
 // request goes to rep; if it stays unanswered past HedgeDelay and the
 // budget allows, a duplicate launches on alt, and whichever usable
 // response lands first wins. hedgesLeft is decremented in place.
-func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaInfo, body []byte, traceID string, hedgesLeft *int) attemptResult {
-	ctx, cancel := context.WithTimeout(ctx, d.cfg.AttemptTimeout)
+//
+// A non-zero dl caps the attempt timeout at the remaining budget, and
+// vetoes the hedge when the budget cannot cover HedgeDelay plus one
+// ExpectedServiceTime — a hedge that cannot finish in time is pure
+// load amplification with no chance of helping the client.
+func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaInfo, body []byte, traceID string, hedgesLeft *int, dl time.Time) attemptResult {
+	timeout := d.cfg.AttemptTimeout
+	if !dl.IsZero() {
+		if remaining := dl.Sub(d.now()); remaining < timeout {
+			timeout = remaining
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	resCh := make(chan attemptResult, 2)
 	launch := func(target ReplicaInfo) {
-		go func() { resCh <- d.send(ctx, target, body, traceID) }()
+		go func() { resCh <- d.send(ctx, target, body, traceID, dl) }()
 	}
 	launch(rep)
 	launched := 1
 
 	var hedgeTimer <-chan time.Time
 	if d.cfg.HedgeDelay > 0 && alt != nil && *hedgesLeft > 0 {
-		hedgeTimer = time.After(d.cfg.HedgeDelay)
+		if dl.IsZero() || dl.Sub(d.now()) >= d.cfg.HedgeDelay+d.cfg.ExpectedServiceTime {
+			hedgeTimer = time.After(d.cfg.HedgeDelay)
+		} else {
+			d.cfg.Metrics.IncHedgeSkipped()
+			d.logger().Debug("hedge skipped, deadline too close",
+				slog.String("trace_id", traceID),
+				slog.Duration("remaining", dl.Sub(d.now())))
+		}
 	}
 
 	var last attemptResult
@@ -320,11 +369,31 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Trace-Id", traceID)
 
+	// Deadline propagation: honor a client-supplied absolute deadline,
+	// or assign one from DefaultBudget so the whole retry/hedge ladder
+	// below is budget-bounded. dl stays zero (unbounded) only when the
+	// client sent no header and no default budget is configured.
+	dl, hasDL, err := deadline.FromRequest(r.Header)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid %s header: %v", deadline.Header, err), http.StatusBadRequest)
+		return
+	}
+	if !hasDL && d.cfg.DefaultBudget > 0 {
+		dl, hasDL = d.now().Add(d.cfg.DefaultBudget), true
+	}
+
 	key := Key(body)
 	hedgesLeft := d.cfg.MaxHedges
 	tried := make(map[string]bool)
+	deadlineHit := false
 	var last attemptResult
 	for attemptNo := 1; attemptNo <= d.cfg.MaxAttempts; attemptNo++ {
+		// The budget check precedes the retry counter: an attempt that
+		// cannot start before the deadline is never fired (or counted).
+		if hasDL && !d.now().Before(dl) {
+			deadlineHit = true
+			break
+		}
 		if attemptNo > 1 {
 			d.cfg.Metrics.IncRetry()
 		}
@@ -344,7 +413,7 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 		if len(fresh) == 0 {
 			// Nothing dispatchable: burn the attempt on a short wait
 			// for the manager to bring a replica back.
-			time.Sleep(50 * time.Millisecond)
+			d.sleep(d.capWait(50*time.Millisecond, dl))
 			last = attemptResult{code: "no_replicas"}
 			continue
 		}
@@ -358,7 +427,7 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 			alt = &a
 		}
 
-		res := d.attempt(r.Context(), rep, alt, body, traceID, &hedgesLeft)
+		res := d.attempt(r.Context(), rep, alt, body, traceID, &hedgesLeft, dl)
 		if res.ok || res.terminal {
 			d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
 			d.logger().Debug("classify routed",
@@ -378,13 +447,27 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 			if wait > d.cfg.RetryAfterCap {
 				wait = d.cfg.RetryAfterCap
 			}
-			time.Sleep(wait)
+			// A backoff past the deadline is pointless: sleep only the
+			// remaining budget, then the loop's deadline check ends the
+			// request.
+			d.sleep(d.capWait(wait, dl))
 		}
 	}
 
-	// Budget exhausted. The fleet is saturated or down; tell the client
-	// to back off, mirroring the replica 429 contract one tier up.
+	// Budget exhausted. When the request's deadline ran out first, 504
+	// names the real failure (out of time, not out of replicas) and the
+	// client learns there is no point retrying this request.
 	d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
+	if deadlineHit {
+		d.cfg.Metrics.IncDeadlineExhausted()
+		d.logger().Warn("classify deadline exhausted",
+			slog.String("trace_id", traceID),
+			slog.String("last_code", last.code))
+		http.Error(w, "request deadline exhausted before a replica responded", http.StatusGatewayTimeout)
+		return
+	}
+	// The fleet is saturated or down; tell the client to back off,
+	// mirroring the replica 429 contract one tier up.
 	d.logger().Warn("classify budget exhausted",
 		slog.String("trace_id", traceID),
 		slog.String("last_code", last.code),
@@ -395,4 +478,20 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.Error(w, "no replica produced a valid response", http.StatusBadGateway)
+}
+
+// capWait truncates a backoff wait to the request's remaining deadline
+// budget (unchanged when dl is zero / unbounded).
+func (d *Dispatcher) capWait(wait time.Duration, dl time.Time) time.Duration {
+	if dl.IsZero() {
+		return wait
+	}
+	remaining := dl.Sub(d.now())
+	if remaining < 0 {
+		return 0
+	}
+	if wait > remaining {
+		return remaining
+	}
+	return wait
 }

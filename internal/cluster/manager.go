@@ -161,7 +161,12 @@ func (m *Manager) Start() {
 }
 
 // Stop drains every replica (SIGTERM, bounded by StopTimeout, then
-// SIGKILL) and waits for the supervisors to exit. Idempotent.
+// SIGKILL) and waits for the supervisors to exit. Idempotent. The join
+// is deliberately context-free: every supervisor bounds its own exit by
+// StopTimeout once the stop channel closes, and Stop runs at process
+// teardown where no caller context exists.
+//
+//lint:ignore pimcaps/ctxcheck teardown join is bounded by StopTimeout inside each supervisor; no caller context exists at process exit
 func (m *Manager) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	m.wg.Wait()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -94,7 +95,7 @@ func newTestManager(t *testing.T, replicas int) *Manager {
 func TestManagerSpawnAndStop(t *testing.T) {
 	m := newTestManager(t, 2)
 	m.Start()
-	if err := WaitReady(m, 2, 15*time.Second); err != nil {
+	if err := WaitReady(testCtx(t, 15*time.Second), m, 2); err != nil {
 		t.Fatalf("replicas never ready: %v\nsnapshot: %+v", err, m.Snapshot())
 	}
 	for _, r := range m.Snapshot() {
@@ -121,7 +122,7 @@ func TestManagerSpawnAndStop(t *testing.T) {
 func TestManagerRestartsCrashedReplica(t *testing.T) {
 	m := newTestManager(t, 1)
 	m.Start()
-	if err := WaitReady(m, 1, 15*time.Second); err != nil {
+	if err := WaitReady(testCtx(t, 15*time.Second), m, 1); err != nil {
 		t.Fatalf("replica never ready: %v", err)
 	}
 	before := m.Snapshot()[0]
@@ -149,7 +150,7 @@ func TestManagerRestartsCrashedReplica(t *testing.T) {
 func TestManagerMarksDrainingNotReady(t *testing.T) {
 	m := newTestManager(t, 1)
 	m.Start()
-	if err := WaitReady(m, 1, 15*time.Second); err != nil {
+	if err := WaitReady(testCtx(t, 15*time.Second), m, 1); err != nil {
 		t.Fatalf("replica never ready: %v", err)
 	}
 	url := m.Snapshot()[0].URL
@@ -206,4 +207,13 @@ func TestManagerConfigValidate(t *testing.T) {
 	if _, err := NewManager(ManagerConfig{}); err == nil {
 		t.Fatalf("NewManager accepted empty Binary")
 	}
+}
+
+// testCtx returns a context bounded by d that is released with the
+// test.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
 }

@@ -30,6 +30,12 @@ type Metrics struct {
 
 	retries atomic.Uint64
 	hedges  atomic.Uint64
+	// hedgesSkipped counts hedges vetoed because the remaining deadline
+	// budget could not cover HedgeDelay + ExpectedServiceTime;
+	// deadlineExhausted counts requests that ran out of deadline before
+	// any replica produced a usable response (504s).
+	hedgesSkipped     atomic.Uint64
+	deadlineExhausted atomic.Uint64
 
 	// latency is a fixed-bucket histogram of client-visible router
 	// latency in seconds (cumulative bucket counts, latencyBounds plus
@@ -86,6 +92,19 @@ func (m *Metrics) IncHedge() { m.hedges.Add(1) }
 // Hedges returns the hedge count.
 func (m *Metrics) Hedges() uint64 { return m.hedges.Load() }
 
+// IncHedgeSkipped counts one hedge vetoed by deadline arithmetic.
+func (m *Metrics) IncHedgeSkipped() { m.hedgesSkipped.Add(1) }
+
+// HedgesSkipped returns the vetoed-hedge count.
+func (m *Metrics) HedgesSkipped() uint64 { return m.hedgesSkipped.Load() }
+
+// IncDeadlineExhausted counts one request whose deadline expired
+// before any replica produced a usable response.
+func (m *Metrics) IncDeadlineExhausted() { m.deadlineExhausted.Add(1) }
+
+// DeadlinesExhausted returns the deadline-exhaustion count.
+func (m *Metrics) DeadlinesExhausted() uint64 { return m.deadlineExhausted.Load() }
+
 // ObserveLatency records one client-visible request latency.
 func (m *Metrics) ObserveLatency(seconds float64) {
 	if seconds < 0 {
@@ -135,6 +154,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 
 	fmt.Fprintf(w, "router_retries_total %d\n", m.retries.Load())
 	fmt.Fprintf(w, "router_hedges_total %d\n", m.hedges.Load())
+	fmt.Fprintf(w, "router_hedges_skipped_total %d\n", m.hedgesSkipped.Load())
+	fmt.Fprintf(w, "router_deadline_exhausted_total %d\n", m.deadlineExhausted.Load())
 
 	var cum uint64
 	for i, b := range latencyBounds {

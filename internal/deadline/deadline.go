@@ -1,0 +1,66 @@
+// Package deadline defines the end-to-end deadline header contract the
+// serving stack propagates across tiers: clients (and cmd/capsnet-router
+// on their behalf) stamp each request with an absolute wall-clock
+// deadline, the router deducts elapsed time from it before every retry
+// or hedge, and capsnet-serve derives each request's context from it —
+// so a request's total budget is spent once, end to end, instead of
+// resetting at every hop.
+//
+// The wire format is deliberately minimal: one header carrying the
+// absolute deadline as integer Unix milliseconds. Absolute (not a
+// relative "timeout budget") because an absolute instant survives any
+// number of forwarding hops without each hop having to subtract its own
+// elapsed time before re-encoding — every tier just compares against
+// its own clock. Millisecond resolution matches the granularity of the
+// serving stack's timeouts and keeps the header a short decimal
+// integer. Clock skew between tiers shifts budgets by the skew; on the
+// loopback deployments this stack targets (router and replicas on one
+// host) the skew is zero, and across hosts NTP-grade skew is far below
+// the second-scale budgets in play.
+//
+// The package is standard-library only and imported from both sides of
+// the tier boundary (internal/serve and internal/cluster), which is
+// legal under the layer table precisely because it carries no behavior
+// from either side — it is a wire contract, like the /readyz load body.
+package deadline
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Header is the absolute-deadline request header: integer Unix
+// milliseconds, e.g. "X-Deadline: 1754700000123".
+const Header = "X-Deadline"
+
+// Format renders t as the Header wire value.
+func Format(t time.Time) string {
+	return strconv.FormatInt(t.UnixMilli(), 10)
+}
+
+// Parse decodes one Header value. ok is false when value is empty (no
+// deadline was propagated); err is non-nil when a value is present but
+// not a positive integer millisecond timestamp.
+func Parse(value string) (t time.Time, ok bool, err error) {
+	if value == "" {
+		return time.Time{}, false, nil
+	}
+	ms, perr := strconv.ParseInt(value, 10, 64)
+	if perr != nil || ms <= 0 {
+		return time.Time{}, false, fmt.Errorf("deadline: %q is not a positive Unix-millisecond timestamp", value)
+	}
+	return time.UnixMilli(ms), true, nil
+}
+
+// FromRequest extracts the propagated deadline from h. ok is false
+// when no deadline header is present.
+func FromRequest(h http.Header) (t time.Time, ok bool, err error) {
+	return Parse(h.Get(Header))
+}
+
+// Set stamps h with t as the propagated deadline.
+func Set(h http.Header, t time.Time) {
+	h.Set(Header, Format(t))
+}

@@ -1,0 +1,63 @@
+package deadline
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	want := time.Date(2026, 8, 9, 12, 30, 45, 123_000_000, time.UTC)
+	got, ok, err := Parse(Format(want))
+	if err != nil || !ok {
+		t.Fatalf("Parse(Format(%v)) = ok=%v err=%v", want, ok, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip lost precision: got %v, want %v", got, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	_, ok, err := Parse("")
+	if ok || err != nil {
+		t.Fatalf("Parse(\"\") = ok=%v err=%v, want absent with no error", ok, err)
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, v := range []string{"abc", "-5", "0", "1.5", "2026-08-09T12:00:00Z"} {
+		if _, ok, err := Parse(v); err == nil || ok {
+			t.Errorf("Parse(%q) = ok=%v err=%v, want error", v, ok, err)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := http.Header{}
+	if _, ok, err := FromRequest(h); ok || err != nil {
+		t.Fatalf("FromRequest on empty header = ok=%v err=%v", ok, err)
+	}
+	want := time.Now().Add(750 * time.Millisecond).Truncate(time.Millisecond)
+	Set(h, want)
+	got, ok, err := FromRequest(h)
+	if err != nil || !ok {
+		t.Fatalf("FromRequest = ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("header round trip: got %v, want %v", got, want)
+	}
+}
+
+// TestSubMillisecondTruncation pins the wire resolution: formatting
+// truncates to the millisecond, so budgets shrink (never grow) across
+// a hop.
+func TestSubMillisecondTruncation(t *testing.T) {
+	base := time.UnixMilli(1_754_700_000_123)
+	got, ok, err := Parse(Format(base.Add(900 * time.Microsecond)))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !got.Equal(base) {
+		t.Fatalf("sub-millisecond component must truncate toward the past: got %v, want %v", got, base)
+	}
+}

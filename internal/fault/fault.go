@@ -81,6 +81,18 @@ func (in *Injector) FlipBits(data []float32, n int) {
 	}
 }
 
+// Duration returns a seeded-uniform duration in [min, max] — the
+// per-batch slowdown of the queue-pressure injector. min == max pins
+// it exactly.
+func (in *Injector) Duration(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return min + time.Duration(in.rng.Int63n(int64(max-min)+1))
+}
+
 // CorruptNonFinite overwrites n uniformly chosen elements of data
 // with a random choice of NaN, +Inf, or −Inf — the values the PE
 // approximations saturate to at their domain edges.
@@ -175,6 +187,21 @@ func StallBatchHook(g *Gate, d time.Duration) BatchHook {
 	return func([][]float32) {
 		if g.Fire() {
 			time.Sleep(d)
+		}
+	}
+}
+
+// PressureBatchHook returns a BatchHook that, while g is armed, delays
+// each batch by a seeded-uniform duration in [min, max] — synthetic
+// queue pressure for overload drills: slowing the runner makes the
+// admission queue back up, which drives queue waits (the brownout
+// controller's input signal) and eventually 429 backpressure, without
+// wedging a batch outright the way StallBatchHook does. Arm the gate
+// with the number of batches one pressure wave should slow.
+func PressureBatchHook(in *Injector, g *Gate, min, max time.Duration) BatchHook {
+	return func([][]float32) {
+		if g.Fire() {
+			time.Sleep(in.Duration(min, max))
 		}
 	}
 }

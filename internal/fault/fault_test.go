@@ -170,3 +170,59 @@ func TestChainBatchHooks(t *testing.T) {
 		t.Fatalf("chain order %v, want [1 2]", order)
 	}
 }
+
+// TestDurationSeededAndBounded: Duration stays in [min, max], is
+// reproducible from the seed, and a degenerate range pins the value.
+func TestDurationSeededAndBounded(t *testing.T) {
+	in := New(11)
+	var first []time.Duration
+	for i := 0; i < 100; i++ {
+		d := in.Duration(5*time.Millisecond, 20*time.Millisecond)
+		if d < 5*time.Millisecond || d > 20*time.Millisecond {
+			t.Fatalf("Duration %v outside [5ms, 20ms]", d)
+		}
+		first = append(first, d)
+	}
+	in.Reset()
+	for i := 0; i < 100; i++ {
+		if d := in.Duration(5*time.Millisecond, 20*time.Millisecond); d != first[i] {
+			t.Fatalf("draw %d after Reset: %v, want %v (not seed-reproducible)", i, d, first[i])
+		}
+	}
+	if d := in.Duration(time.Second, time.Second); d != time.Second {
+		t.Fatalf("degenerate range returned %v, want 1s", d)
+	}
+	if d := in.Duration(time.Second, 0); d != time.Second {
+		t.Fatalf("inverted range returned %v, want min", d)
+	}
+}
+
+// TestPressureBatchHook: armed, the hook delays the batch; disarmed,
+// it costs nothing and sleeps never.
+func TestPressureBatchHook(t *testing.T) {
+	in := New(7)
+	var g Gate
+	hook := PressureBatchHook(in, &g, 10*time.Millisecond, 10*time.Millisecond)
+
+	start := time.Now()
+	hook(nil) // disarmed: no delay
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("disarmed pressure hook took %v", elapsed)
+	}
+
+	g.Arm(2)
+	start = time.Now()
+	hook(nil)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("armed pressure hook slept only %v, want ≥ 10ms", elapsed)
+	}
+	hook(nil)
+	if g.Armed() {
+		t.Fatal("gate still armed after its two firings")
+	}
+	start = time.Now()
+	hook(nil)
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("exhausted pressure hook took %v", elapsed)
+	}
+}

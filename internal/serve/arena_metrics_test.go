@@ -4,6 +4,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -26,7 +27,7 @@ func TestArenaAndPartitionMetrics(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	defer srv.Close()
+	defer srv.Close(context.Background())
 
 	const n = 4
 	for i := 0; i < n; i++ {

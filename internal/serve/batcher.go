@@ -31,6 +31,13 @@ var (
 	// finite-value guard); mapped to 500 rather than emitting NaN
 	// probabilities.
 	ErrNonFinite = errors.New("serve: non-finite model output")
+	// ErrBatchAborted means the forward pass was cooperatively aborted
+	// mid-routing because every request in the batch had already
+	// expired (see Batcher.CancelRequested and capsnet.CancelCheck).
+	// The callers are long gone — each already received its own
+	// context error — so this error is bookkeeping: the run function
+	// returns it per sample, and the batcher counts the abort.
+	ErrBatchAborted = errors.New("serve: batch aborted, all requests expired")
 )
 
 // Prediction is the per-request inference result.
@@ -102,6 +109,19 @@ type Batcher struct {
 	// wdTimer creates the per-batch watchdog deadline, separately
 	// injectable so fill-timer tests stay unaffected.
 	wdTimer func(time.Duration) <-chan time.Time
+	// abortTimer creates the all-expired abort check timer (armed at
+	// the latest context deadline across the running batch's
+	// requests), injectable like the other two.
+	abortTimer func(time.Duration) <-chan time.Time
+
+	// cancelArmed flips true while the currently running batch should
+	// abort (every rider's context expired); the network's Cancel hook
+	// reads it between routing iterations via CancelRequested.
+	cancelArmed atomic.Bool
+
+	// brown, when non-nil, is the brownout controller; the runner
+	// feeds it each launched batch's worst queue wait.
+	brown *brownout
 
 	// clock stamps queue/pipeline stage boundaries (Config.Clock, or
 	// time.Now).
@@ -148,6 +168,9 @@ func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Bat
 		wdTimer: func(d time.Duration) <-chan time.Time {
 			return time.After(d)
 		},
+		abortTimer: func(d time.Duration) <-chan time.Time {
+			return time.After(d)
+		},
 		clock:          clock,
 		stop:           make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
@@ -173,6 +196,15 @@ func (b *Batcher) Inflight() int { return int(b.inflight.Load()) }
 // before the first batch runs). LastBatchSize/MaxBatch is the batcher
 // occupancy: how full the micro-batches actually launch.
 func (b *Batcher) LastBatchSize() int { return int(b.lastBatch.Load()) }
+
+// CancelRequested reports whether the batch currently under execution
+// should abort: every request riding it has expired, so finishing the
+// forward pass is dead work. The server installs this as the network's
+// capsnet.CancelCheck; the routing loop polls it between iterations.
+// (A watchdog-abandoned forward pass keeps polling the same flag while
+// later batches run — a later batch's abort can therefore also free an
+// abandoned straggler, which only helps.)
+func (b *Batcher) CancelRequested() bool { return b.cancelArmed.Load() }
 
 // Submit admits one image and blocks until its batch has run or ctx
 // expires. It returns the prediction and the size of the micro-batch
@@ -310,9 +342,13 @@ func (b *Batcher) runBatch(batch []*request) {
 	// time in the batcher exactly.
 	launch := b.clock()
 	var batchTrace *obs.Trace
+	var worstWait time.Duration
 	images := make([][]float32, len(live))
 	for i, r := range live {
 		images[i] = r.img
+		if qw := r.collected.Sub(r.enqueued); qw > worstWait {
+			worstWait = qw
+		}
 		if b.metrics != nil {
 			qw := r.collected.Sub(r.enqueued).Seconds()
 			b.metrics.QueueWait.Observe(qw)
@@ -337,6 +373,17 @@ func (b *Batcher) runBatch(batch []*request) {
 		// discarded batchTrace instead of racing the next batch's.
 		b.rec.SetCurrent(batchTrace)
 	}
+	// Feed the brownout controller before the run so the level a batch
+	// is served at reflects the pressure it arrived under, and snapshot
+	// that level for the per-level request counters.
+	level := 0
+	if b.brown != nil {
+		b.brown.observe(worstWait, launch)
+		level = b.brown.Level()
+	}
+	// The cancel flag covers exactly one batch execution: re-arm
+	// happens below if this batch's riders all expire mid-run.
+	b.cancelArmed.Store(false)
 	resCh := make(chan runResult, 1)
 	go func() {
 		defer func() {
@@ -353,38 +400,110 @@ func (b *Batcher) runBatch(batch []*request) {
 	if b.cfg.BatchDeadline > 0 {
 		deadline = b.wdTimer(b.cfg.BatchDeadline)
 	}
-	select {
-	case res := <-resCh:
-		fwdEnd := b.clock()
-		if res.panicked {
-			if b.metrics != nil {
-				b.metrics.IncPanicRecovered()
+	abortCh := b.armAbort(live)
+	for {
+		select {
+		case res := <-resCh:
+			fwdEnd := b.clock()
+			if res.panicked {
+				if b.metrics != nil {
+					b.metrics.IncPanicRecovered()
+				}
+				err := fmt.Errorf("%w: %v", ErrBatchPanic, res.panicVal)
+				for _, r := range live {
+					r.done <- outcome{err: err}
+				}
+				return
 			}
-			err := fmt.Errorf("%w: %v", ErrBatchPanic, res.panicVal)
+			if b.metrics != nil {
+				if batchAborted(res.preds) {
+					b.metrics.IncBatchAborted()
+				}
+				b.metrics.ObserveBatch(len(live), b.routingIterations)
+				b.metrics.ObserveStage(StageForward, fwdEnd.Sub(launch).Seconds())
+				b.metrics.IncBrownoutRequests(level, len(live))
+			}
+			spans := batchTrace.Spans()
+			for i, r := range live {
+				r.trace.Add(StageForward, -1, launch, fwdEnd)
+				r.trace.AddSpans(spans)
+				r.done <- outcome{pred: res.preds[i], batch: len(live), err: res.preds[i].Err}
+			}
+			return
+		case <-deadline:
+			if b.metrics != nil {
+				b.metrics.IncWatchdogBatch()
+			}
+			err := fmt.Errorf("%w (%v)", ErrBatchTimeout, b.cfg.BatchDeadline)
 			for _, r := range live {
 				r.done <- outcome{err: err}
 			}
 			return
-		}
-		if b.metrics != nil {
-			b.metrics.ObserveBatch(len(live), b.routingIterations)
-			b.metrics.ObserveStage(StageForward, fwdEnd.Sub(launch).Seconds())
-		}
-		spans := batchTrace.Spans()
-		for i, r := range live {
-			r.trace.Add(StageForward, -1, launch, fwdEnd)
-			r.trace.AddSpans(spans)
-			r.done <- outcome{pred: res.preds[i], batch: len(live), err: res.preds[i].Err}
-		}
-	case <-deadline:
-		if b.metrics != nil {
-			b.metrics.IncWatchdogBatch()
-		}
-		err := fmt.Errorf("%w (%v)", ErrBatchTimeout, b.cfg.BatchDeadline)
-		for _, r := range live {
-			r.done <- outcome{err: err}
+		case <-abortCh:
+			// The latest known context deadline has passed. If every
+			// rider is indeed gone, arm the cooperative cancel so the
+			// routing loop stops between iterations; otherwise re-arm
+			// for the new latest deadline (a rider without one keeps
+			// the batch uncancellable — armAbort returned nil and this
+			// case never fires).
+			if allExpired(live) {
+				b.cancelArmed.Store(true)
+				abortCh = nil
+			} else {
+				abortCh = b.armAbort(live)
+			}
 		}
 	}
+}
+
+// armAbort returns a timer channel firing just after the latest
+// context deadline across the batch's still-live requests — the
+// earliest instant at which the whole batch could be expired. It
+// returns nil (never fires) when some request has no deadline at all.
+// The millisecond of slack keeps the common case to a single firing:
+// by then every ctx.Err() has actually flipped.
+func (b *Batcher) armAbort(live []*request) <-chan time.Time {
+	var latest time.Time
+	for _, r := range live {
+		if r.ctx.Err() != nil {
+			continue
+		}
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return nil
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	if latest.IsZero() {
+		// Everything expired between the live-filter and now; fire
+		// immediately so the select arms the cancel.
+		return b.abortTimer(0)
+	}
+	return b.abortTimer(time.Until(latest) + time.Millisecond)
+}
+
+// allExpired reports whether every request in the batch has an expired
+// or cancelled context.
+func allExpired(live []*request) bool {
+	for _, r := range live {
+		if r.ctx.Err() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// batchAborted reports whether the run function returned the
+// cooperative-abort sentinel for this batch.
+func batchAborted(preds []Prediction) bool {
+	for i := range preds {
+		if errors.Is(preds[i].Err, ErrBatchAborted) {
+			return true
+		}
+	}
+	return false
 }
 
 // Close stops admission, drains queued and in-flight batches, and

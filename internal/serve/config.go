@@ -69,6 +69,13 @@ type Config struct {
 	// queue-wait measurement); nil means time.Now. Tests inject a fake
 	// clock here for deterministic span timings.
 	Clock obs.Clock
+	// Brownout configures the adaptive-fidelity overload controller:
+	// under sustained queue pressure the server sheds routing
+	// iterations (and optionally switches to approximate routing math)
+	// instead of collapsing, stepping back up after recovery. The zero
+	// value disables it entirely — the forward path is then
+	// bit-identical to a server without the controller.
+	Brownout BrownoutConfig
 	// PreRunHook, when non-nil, is called by the batch runner with
 	// the assembled batch images immediately before inference, on the
 	// same goroutine the forward pass uses — so a hook that panics or
@@ -112,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer == 0 {
 		c.TraceBuffer = obs.DefaultTraceBuffer
 	}
+	if c.Brownout.Enabled {
+		c.Brownout = c.Brownout.withDefaults()
+	}
 	return c
 }
 
@@ -141,6 +151,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceBuffer < 1 {
 		return fmt.Errorf("serve: TraceBuffer %d, need ≥ 1", c.TraceBuffer)
+	}
+	if err := c.Brownout.validate(); err != nil {
+		return err
 	}
 	return nil
 }

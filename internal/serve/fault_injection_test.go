@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -86,7 +87,7 @@ func TestCampaignWeightBitFlips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -154,7 +155,7 @@ func TestCampaignApproxMathNaNFallsBackToExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -194,7 +195,7 @@ func TestCampaignRoutingInputCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -227,7 +228,7 @@ func TestCampaignBatchCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -256,7 +257,7 @@ func TestCampaignInjectedPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -293,7 +294,7 @@ func TestCampaignWatchdogStall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -369,7 +370,7 @@ func TestCampaignDisabledInjectorsAreInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer plain.Close()
+	defer plain.Close(context.Background())
 	tsPlain := httptest.NewServer(plain.Handler())
 	defer tsPlain.Close()
 	want := make([]string, len(images))
@@ -387,7 +388,7 @@ func TestCampaignDisabledInjectorsAreInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer wired.Close()
+	defer wired.Close(context.Background())
 	tsWired := httptest.NewServer(wired.Handler())
 	defer tsWired.Close()
 

@@ -193,6 +193,24 @@ type Metrics struct {
 	routingFallbacks atomic.Uint64
 	checkpointRejts  atomic.Uint64
 
+	// Overload-control counters (README "Overload & graceful
+	// degradation"): batches cooperatively aborted mid-routing because
+	// every rider had expired, requests rejected on arrival because
+	// their propagated deadline had already passed, and per-brownout-
+	// level request counts. brownoutLevels is how many {level=...}
+	// series the exposition emits (set by the server from the
+	// controller's level count; minimum 1 so level 0 always exists);
+	// levels beyond the array clamp into the last slot.
+	batchesAborted  atomic.Uint64
+	deadlineExpired atomic.Uint64
+	brownoutReqs    [maxBrownoutSeries]atomic.Uint64
+	brownoutLevels  atomic.Int64
+
+	// BrownoutLevel is sampled at scrape time from the brownout
+	// controller (capsnet_brownout_level); nil reports 0 — a server
+	// with brownout disabled is permanently at full fidelity.
+	BrownoutLevel func() int
+
 	// QueueDepth is sampled at scrape time from the admission queue.
 	QueueDepth func() int
 
@@ -210,6 +228,12 @@ type Metrics struct {
 // responseCodesArray is the fixed set of status codes the server
 // emits; anything else lands in the "other" counter.
 var responseCodesArray = [...]int{200, 400, 404, 405, 429, 500, 503, 504}
+
+// maxBrownoutSeries bounds the per-level request counter array: the
+// brownout ladder has RoutingIterations-1 shedding levels plus at most
+// one approx level plus level 0, and routing iteration counts in this
+// family of networks are single digits.
+const maxBrownoutSeries = 16
 
 // NewMetrics creates the metric set with the server's bucket layouts:
 // latency buckets from 0.5ms to 5s, batch-size buckets covering
@@ -303,6 +327,53 @@ func (m *Metrics) AddRoutingFallbacks(n int) { m.routingFallbacks.Add(uint64(n))
 // RoutingFallbacks returns the exact-math routing fallback count.
 func (m *Metrics) RoutingFallbacks() uint64 { return m.routingFallbacks.Load() }
 
+// IncBatchAborted counts one batch cooperatively aborted mid-routing
+// because every request riding it had already expired.
+func (m *Metrics) IncBatchAborted() { m.batchesAborted.Add(1) }
+
+// BatchesAborted returns the cooperatively aborted batch count.
+func (m *Metrics) BatchesAborted() uint64 { return m.batchesAborted.Load() }
+
+// IncDeadlineExpired counts one request rejected on arrival because
+// its propagated deadline had already passed.
+func (m *Metrics) IncDeadlineExpired() { m.deadlineExpired.Add(1) }
+
+// DeadlinesExpired returns the expired-on-arrival request count.
+func (m *Metrics) DeadlinesExpired() uint64 { return m.deadlineExpired.Load() }
+
+// SetBrownoutLevels declares how many brownout levels the controller
+// has, so the exposition emits a stable series per level. Clamped to
+// [1, maxBrownoutSeries].
+func (m *Metrics) SetBrownoutLevels(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxBrownoutSeries {
+		n = maxBrownoutSeries
+	}
+	m.brownoutLevels.Store(int64(n))
+}
+
+// IncBrownoutRequests counts n requests served at the given brownout
+// level (levels beyond the declared range clamp into the last slot).
+func (m *Metrics) IncBrownoutRequests(level, n int) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= maxBrownoutSeries {
+		level = maxBrownoutSeries - 1
+	}
+	m.brownoutReqs[level].Add(uint64(n))
+}
+
+// BrownoutRequests returns the request count at one brownout level.
+func (m *Metrics) BrownoutRequests(level int) uint64 {
+	if level < 0 || level >= maxBrownoutSeries {
+		return 0
+	}
+	return m.brownoutReqs[level].Load()
+}
+
 // IncCheckpointRejection counts one checkpoint that failed structural
 // verification (bad magic, truncation, CRC mismatch) at load time.
 func (m *Metrics) IncCheckpointRejection() { m.checkpointRejts.Add(1) }
@@ -340,6 +411,20 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "capsnet_watchdog_failed_batches_total %d\n", m.watchdogBatches.Load())
 	fmt.Fprintf(w, "capsnet_routing_exact_fallbacks_total %d\n", m.routingFallbacks.Load())
 	fmt.Fprintf(w, "capsnet_checkpoint_load_rejections_total %d\n", m.checkpointRejts.Load())
+	fmt.Fprintf(w, "capsnet_batch_aborted_total %d\n", m.batchesAborted.Load())
+	fmt.Fprintf(w, "capsnet_deadline_expired_total %d\n", m.deadlineExpired.Load())
+	lvl := 0
+	if m.BrownoutLevel != nil {
+		lvl = m.BrownoutLevel()
+	}
+	fmt.Fprintf(w, "capsnet_brownout_level %d\n", lvl)
+	levels := int(m.brownoutLevels.Load())
+	if levels < 1 {
+		levels = 1
+	}
+	for i := 0; i < levels; i++ {
+		fmt.Fprintf(w, "capsnet_brownout_requests_total{level=\"%d\"} %d\n", i, m.brownoutReqs[i].Load())
+	}
 	for _, g := range obs.RuntimeStats() {
 		fmt.Fprintf(w, "%s %g\n", g.Name, g.Value)
 	}

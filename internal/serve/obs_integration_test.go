@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -38,7 +39,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	defer srv.Close()
+	defer srv.Close(context.Background())
 
 	const n = 6
 	ids := make(map[string]bool)
@@ -214,7 +215,7 @@ func TestTracingDisabledByDefault(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	defer srv.Close()
+	defer srv.Close(context.Background())
 
 	resp, _ := postClassify(t, ts.URL, images[0])
 	if resp.StatusCode != http.StatusOK {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pimcapsnet/internal/capsnet"
+	"pimcapsnet/internal/deadline"
 	"pimcapsnet/internal/obs"
 )
 
@@ -93,8 +94,27 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 	if m == nil {
 		m = NewMetrics()
 	}
+	// The brownout controller exists only when enabled; the nil checks
+	// below keep the disabled server's forward path untouched (and
+	// bit-identical — see TestBrownoutDisabledBitIdentical).
+	var br *brownout
+	if cfg.Brownout.Enabled {
+		br = newBrownout(cfg.Brownout, network.Config.RoutingIterations)
+		m.BrownoutLevel = br.Level
+		m.SetBrownoutLevels(br.levels())
+	}
+	// approxMath is built once so the brownout's deepest level does not
+	// allocate lookup tables per batch.
+	var approxMath capsnet.RoutingMath
+	if br != nil && cfg.Brownout.AllowApprox {
+		approxMath = capsnet.NewPEMath()
+	}
 	run := func(images [][]float32) []Prediction {
-		out := network.ForwardBatch(images, mathOps)
+		mo := mathOps
+		if approxMath != nil && br.approxActive() {
+			mo = approxMath
+		}
+		out := network.ForwardBatch(images, mo)
 		// Everything the response needs is copied out below, so the
 		// Output's scratch arena goes back to the network's pool as soon
 		// as this function returns — the step that keeps steady-state
@@ -102,6 +122,15 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 		defer out.Release()
 		nc, dd := network.Config.Classes, network.Config.DigitDim
 		preds := make([]Prediction, len(images))
+		if out.Aborted {
+			// Cooperative abort: every rider already expired, so no one
+			// reads these predictions — the sentinel lets the batcher
+			// count the abort.
+			for k := range preds {
+				preds[k] = Prediction{Err: ErrBatchAborted}
+			}
+			return preds
+		}
 		classes := out.Predictions()
 		for k := range images {
 			probs := make([]float32, nc)
@@ -126,6 +155,14 @@ func NewWithMetrics(network *capsnet.Network, mathOps capsnet.RoutingMath, cfg C
 		return preds
 	}
 	b := NewBatcher(cfg, run, m, network.Config.RoutingIterations)
+	// Cooperative cancellation: the routing loop polls the batcher's
+	// cancel flag between iterations (an atomic load — inactive cost is
+	// one branch per iteration, and polling never alters results).
+	network.Cancel = b.CancelRequested
+	if br != nil {
+		b.brown = br
+		network.IterationLimit = br.iterationCap
+	}
 	// Attach the forward-pass stage hook: the recorder owns the clock
 	// (capsnet stays free of time sources and of any obs import), feeds
 	// every stage duration into the per-stage histograms, and lands
@@ -196,11 +233,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close performs the batcher half of graceful shutdown: readiness
 // flips to 503 immediately, then queued and in-flight batches drain
-// within cfg.DrainTimeout. Call it after http.Server.Shutdown has
-// stopped accepting connections.
-func (s *Server) Close() error {
+// within cfg.DrainTimeout (further bounded by ctx, so a caller with
+// its own shutdown budget can cut the drain short). Call it after
+// http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Close(ctx context.Context) error {
 	s.draining.Store(true)
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
 	defer cancel()
 	return s.batcher.Close(ctx)
 }
@@ -315,7 +353,30 @@ func (s *Server) classify(r *http.Request) (int, any) {
 	aEnd := s.clock()
 	s.metrics.ObserveStage(StageAdmission, aEnd.Sub(aStart).Seconds())
 	obs.TraceFrom(r.Context()).Add(StageAdmission, -1, aStart, aEnd)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// End-to-end deadline propagation: an upstream-supplied absolute
+	// deadline bounds this request, capped by RequestTimeout so a
+	// generous client budget cannot pin a request here forever. A
+	// deadline already in the past is rejected up front — running
+	// inference for a caller that stopped waiting is pure waste.
+	dl, hasDL, err := deadline.FromRequest(r.Header)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid %s header: %v", deadline.Header, err)}
+	}
+	now := time.Now()
+	if hasDL && !dl.After(now) {
+		s.metrics.IncDeadlineExpired()
+		return http.StatusGatewayTimeout, errorBody{Error: "deadline already expired on arrival"}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if hasDL {
+		if cap := now.Add(s.cfg.RequestTimeout); dl.After(cap) {
+			dl = cap
+		}
+		ctx, cancel = context.WithDeadline(r.Context(), dl)
+	} else {
+		ctx, cancel = context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
 	defer cancel()
 	pred, batch, err := s.batcher.Submit(ctx, req.Image)
 	switch {
@@ -326,6 +387,13 @@ func (s *Server) classify(r *http.Request) (int, any) {
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, errorBody{Error: "server shutting down"}
 	case errors.Is(err, context.DeadlineExceeded):
+		if hasDL {
+			s.metrics.IncDeadlineExpired()
+		}
+		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
+	case errors.Is(err, ErrBatchAborted):
+		// Defensive: abort predictions only exist once every rider
+		// expired, so normally ctx.Err() wins the Submit select first.
 		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
 	case errors.Is(err, ErrNonFinite):
 		return http.StatusInternalServerError, errorBody{Error: "model produced non-finite output for this input (exact-math fallback did not recover it)"}

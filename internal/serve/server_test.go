@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -68,7 +69,7 @@ func TestServeMatchesDirectForwardBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -145,7 +146,7 @@ func TestServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -227,7 +228,7 @@ func TestReadyzLoadBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -315,7 +316,7 @@ func TestBatcherInflightGauge(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -352,7 +353,7 @@ func TestServerBackpressure429(t *testing.T) {
 	}
 	b.Start()
 	wg.Wait()
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -371,13 +372,13 @@ func TestServerShutdown(t *testing.T) {
 	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusOK {
 		t.Fatalf("pre-shutdown classify %d", resp.StatusCode)
 	}
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if resp, _ := postClassify(t, ts.URL, images[0]); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-shutdown classify %d, want 503", resp.StatusCode)
 	}
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(context.Background()); err != nil {
 		t.Errorf("second close: %v", err)
 	}
 }
