@@ -17,7 +17,15 @@
 //	GET  /readyz        503 until at least one replica is ready
 //	GET  /metrics       router_replica_requests_total{replica,code},
 //	                    router_retries_total, router_hedges_total,
-//	                    per-replica ready/restart/load gauges, latency
+//	                    per-replica ready/restart/load gauges, latency,
+//	                    rolling SLO gauges (availability, p99, burn rate)
+//	GET  /metrics/fleet every replica's /metrics re-exported with a
+//	                    {replica} label plus exactly merged histograms
+//	GET  /debug/requests/trace   router-side request timelines (Chrome trace JSON)
+//	GET  /debug/requests/flight  tail-sampled flight recorder (5xx, 504, slow)
+//	GET  /debug/trace/fleet?trace=<id>  one request's spans merged across the
+//	                    router and every replica into a single Chrome trace
+//	                    with per-process tracks (router, replica-0..N)
 //
 // Replica flags go after "--": everything following the separator is
 // passed to every capsnet-serve verbatim (the router appends its own
@@ -65,6 +73,11 @@ func main() {
 	alpha := flag.Float64("alpha", 1, "placement work coefficient α in S = 1/(αE + βM)")
 	beta := flag.Float64("beta", 1, "placement movement coefficient β in S = 1/(αE + βM)")
 	waitReady := flag.Int("wait-ready", 1, "replicas that must be ready before the router starts listening")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of routed requests to record span timelines for (0 disables, 1 records all)")
+	traceBuffer := flag.Int("trace-buffer", 0, "completed request traces retained for /debug/requests/trace (0 = default 256)")
+	flightBuffer := flag.Int("flight-buffer", 64, "flight-recorder capacity: bad requests (5xx, 504, slow) pinned with full span sets at /debug/requests/flight (0 disables)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "pin requests slower than this end-to-end in the flight recorder (0 disables the slow trigger)")
+	sloTarget := flag.Float64("slo-target", cluster.DefaultSLOTarget, "availability objective for the rolling SLO tracker, in (0, 1)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	replicaLogs := flag.Bool("replica-logs", false, "forward replica stderr (prefixed [rN]) to the router's stderr")
@@ -121,6 +134,11 @@ func main() {
 		MaxHedges:           *hedges,
 		DefaultBudget:       *budget,
 		ExpectedServiceTime: *expectedService,
+		TraceSample:         *traceSample,
+		TraceBuffer:         *traceBuffer,
+		FlightBuffer:        *flightBuffer,
+		SlowThreshold:       *slowThreshold,
+		SLOTarget:           *sloTarget,
 	})
 	if err != nil {
 		mgr.Stop()

@@ -13,7 +13,10 @@
 //	GET  /readyz                traffic readiness (503 while draining)
 //	GET  /metrics               text exposition: request/latency/batch/stage histograms,
 //	                            queue-wait and routing-iteration histograms, runtime gauges
-//	GET  /debug/requests/trace  sampled request timelines as Chrome trace JSON (?last=N)
+//	GET  /debug/requests/trace  sampled request timelines as Chrome trace JSON
+//	                            (?last=N; ?trace=<id>[&format=spans] for one request)
+//	GET  /debug/requests/flight tail-sampled flight recorder: bad requests (5xx, slow,
+//	                            brownout, aborted batch) pinned with full span sets
 //	GET  /debug/pprof/          Go profiling (profile, heap, goroutine, trace, ...)
 //
 // Every response carries an X-Trace-Id header; with -log-format json
@@ -76,6 +79,8 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to record full span timelines for (0 disables, 1 records all)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "completed request traces retained for /debug/requests/trace")
 	traceOut := flag.String("trace-out", "", "write the retained request traces as Chrome trace JSON here at shutdown")
+	flightBuffer := flag.Int("flight-buffer", obs.DefaultFlightBuffer, "flight-recorder capacity: bad requests (5xx, slow, brownout, aborted batch) pinned with full span sets at /debug/requests/flight (0 disables)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "pin requests slower than this end-to-end in the flight recorder (0 disables the slow trigger)")
 	chaosStall := flag.Duration("chaos-stall", 0, "CHAOS: stall armed batches this long before inference (0 disables)")
 	chaosStallArm := flag.Int("chaos-stall-arm", 1, "CHAOS: how many batches -chaos-stall fires on")
 	chaosCorrupt := flag.Int("chaos-corrupt", 0, "CHAOS: non-finite values injected per image on armed batches (0 disables)")
@@ -122,6 +127,8 @@ func main() {
 		BatchDeadline:  *batchDeadline,
 		TraceSample:    *traceSample,
 		TraceBuffer:    *traceBuffer,
+		FlightBuffer:   *flightBuffer,
+		SlowThreshold:  *slowThreshold,
 		Logger:         logger,
 		Brownout: serve.BrownoutConfig{
 			Enabled:          *brownout,
@@ -247,14 +254,20 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 }
 
 // exportTraces writes the retained request timelines as a Chrome
-// trace-event JSON file (load it in Perfetto or chrome://tracing).
+// trace-event JSON file (load it in Perfetto or chrome://tracing):
+// the sampled ring plus any flight-recorder pins not already in it,
+// so the shutdown dump always contains the bad requests.
 func exportTraces(srv *serve.Server, bufferSize int, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	tr := srv.Tracer()
-	if err := obs.WriteChromeTrace(f, tr.Last(bufferSize), tr.Epoch()); err != nil {
+	traces := tr.Last(bufferSize)
+	if fl := srv.Flight(); fl != nil {
+		traces = append(traces, fl.Traces(traces)...)
+	}
+	if err := obs.WriteChromeTrace(f, traces, tr.Epoch()); err != nil {
 		f.Close()
 		return err
 	}

@@ -15,6 +15,11 @@
 //
 //	go run ./cmd/capsnet-router -replicas 3 -- -demo-classes 5 &
 //	go run ./examples/serve -target router -n 64 -c 8
+//
+// Adding -fleet to a router run also scrapes /metrics/fleet and prints
+// the exactly merged cross-replica latency histogram plus a
+// per-replica health table (requests, batches, brownout level, aborted
+// batches, expired deadlines).
 package main
 
 import (
@@ -45,10 +50,15 @@ func main() {
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	seed := flag.Int64("seed", 42, "synthetic image seed")
 	budget := flag.Duration("deadline", 0, "per-request end-to-end budget sent as the X-Deadline header (0 = none); expired requests come back 504")
+	fleet := flag.Bool("fleet", false, "with -target router: also scrape /metrics/fleet and print the merged fleet view with a per-replica health table")
 	flag.Parse()
 
 	if *target != "serve" && *target != "router" {
 		fmt.Fprintf(os.Stderr, "unknown -target %q (want serve or router)\n", *target)
+		os.Exit(1)
+	}
+	if *fleet && *target != "router" {
+		fmt.Fprintln(os.Stderr, "-fleet needs -target router: only the router aggregates replica metrics")
 		os.Exit(1)
 	}
 	if *addr == "" {
@@ -160,6 +170,16 @@ func main() {
 	text, _ := io.ReadAll(resp.Body)
 	if *target == "router" {
 		printRouterSummary(string(text))
+		if *fleet {
+			fleetResp, err := client.Get(*addr + "/metrics/fleet")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fetching fleet metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fleetText, _ := io.ReadAll(fleetResp.Body)
+			fleetResp.Body.Close()
+			printFleetSummary(string(fleetText))
+		}
 		return
 	}
 	fmt.Println("\nserver /metrics (batching + latency):")
@@ -167,7 +187,10 @@ func main() {
 		if strings.HasPrefix(line, "capsnet_batch") ||
 			strings.HasPrefix(line, "capsnet_request_latency_seconds{") ||
 			strings.HasPrefix(line, "capsnet_queue_depth") ||
-			strings.HasPrefix(line, "capsnet_routing_iterations_total") {
+			strings.HasPrefix(line, "capsnet_routing_iterations_total") ||
+			strings.HasPrefix(line, "capsnet_brownout_level") ||
+			strings.HasPrefix(line, "capsnet_batch_aborted_total") ||
+			strings.HasPrefix(line, "capsnet_deadline_expired_total") {
 			fmt.Println("  " + line)
 		}
 	}
@@ -200,9 +223,12 @@ func printRouterSummary(metrics string) {
 		}
 		if strings.HasPrefix(line, "router_retries_total") ||
 			strings.HasPrefix(line, "router_hedges_total") ||
+			strings.HasPrefix(line, "router_hedges_skipped_total") ||
+			strings.HasPrefix(line, "router_deadline_exhausted_total") ||
 			strings.HasPrefix(line, "router_replica_restarts_total") ||
 			strings.HasPrefix(line, "router_request_latency_seconds_count") ||
-			strings.HasPrefix(line, "router_request_latency_seconds_sum") {
+			strings.HasPrefix(line, "router_request_latency_seconds_sum") ||
+			strings.HasPrefix(line, "router_slo_") {
 			fmt.Println("  " + line)
 		}
 	}
@@ -221,6 +247,67 @@ func printRouterSummary(metrics string) {
 		fmt.Printf("  %-10s", r)
 		for _, c := range codes {
 			fmt.Printf(" %8d", counts[key{r, c}])
+		}
+		fmt.Println()
+	}
+}
+
+// printFleetSummary renders the /metrics/fleet view: the exactly
+// merged cross-replica latency histogram, the scrape bookkeeping, and
+// a per-replica health table with the degradation columns (brownout
+// level, aborted batches, expired deadlines) next to the traffic ones.
+func printFleetSummary(metrics string) {
+	fmt.Println("\nfleet /metrics/fleet (merged across replicas):")
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "router_fleet_") ||
+			strings.HasPrefix(line, "capsnet_request_latency_seconds_sum ") ||
+			strings.HasPrefix(line, "capsnet_request_latency_seconds_count ") ||
+			strings.HasPrefix(line, "capsnet_request_latency_seconds_overflow_total ") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Per-replica health table from the {replica}-labelled re-export.
+	cols := []struct{ family, header string }{
+		{"capsnet_requests_total", "requests"},
+		{"capsnet_batches_total", "batches"},
+		{"capsnet_brownout_level", "brownout"},
+		{"capsnet_batch_aborted_total", "aborted"},
+		{"capsnet_deadline_expired_total", "expired"},
+	}
+	repRe := regexp.MustCompile(`^(\w+)\{replica="([^"]+)"\} (\S+)$`)
+	values := make(map[string]map[string]string) // replica → family → value
+	var replicas []string
+	for _, line := range strings.Split(metrics, "\n") {
+		m := repRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if values[m[2]] == nil {
+			values[m[2]] = make(map[string]string)
+			replicas = append(replicas, m[2])
+		}
+		values[m[2]][m[1]] = m[3]
+	}
+	if len(replicas) == 0 {
+		fmt.Println("\nno per-replica samples in the fleet exposition (all scrapes failed?)")
+		return
+	}
+	sort.Strings(replicas)
+	fmt.Println("\nper-replica health (re-exported replica /metrics):")
+	fmt.Printf("  %-10s", "replica")
+	for _, c := range cols {
+		fmt.Printf(" %9s", c.header)
+	}
+	fmt.Println()
+	for _, r := range replicas {
+		fmt.Printf("  %-10s", r)
+		for _, c := range cols {
+			v := values[r][c.family]
+			if v == "" {
+				v = "-"
+			}
+			fmt.Printf(" %9s", v)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,321 @@
+//pimcaps:bitexact
+package pimcapsnet_bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pimcapsnet/internal/deadline"
+	"pimcapsnet/internal/trace"
+)
+
+// flightDoc mirrors the /debug/requests/flight JSON shape.
+type flightDoc struct {
+	Pinned   uint64 `json:"pinned_total"`
+	Retained int    `json:"retained"`
+	Entries  []struct {
+		TraceID string   `json:"trace_id"`
+		Status  int      `json:"status"`
+		Reasons []string `json:"reasons"`
+	} `json:"entries"`
+}
+
+// TestFleetObservabilityE2E is the fleet observability smoke the CI
+// obs-smoke job runs: a real router over two real replicas with
+// tracing and the flight recorder armed, chaos flags forcing a slow
+// retried request and a tiny deadline forcing a 504. It asserts the
+// tail sampler pinned exactly the bad requests, /debug/trace/fleet
+// merges the retried request's spans across the router and replica
+// process tracks, and /metrics/fleet re-exports every replica with
+// exactly merged histograms.
+func TestFleetObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the router and two replicas; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	serveBin := buildBinary(t, dir, "capsnet-serve")
+	routerBin := buildBinary(t, dir, "capsnet-router")
+
+	router := exec.Command(routerBin,
+		"-addr", "127.0.0.1:0",
+		"-serve-bin", serveBin,
+		"-replicas", "2",
+		"-wait-ready", "2",
+		"-probe-interval", "250ms",
+		"-hedge-delay", "-1ms", // hedging off so the armed stall shows up as latency
+		"-trace-sample", "1",
+		"-flight-buffer", "32",
+		"-slow-threshold", "200ms",
+		"-log-format", "json",
+		"--",
+		"-demo-classes", "3",
+		"-trace-sample", "1",
+		"-chaos-stall", "400ms", "-chaos-stall-arm", "1",
+		"-chaos-corrupt", "4", "-chaos-corrupt-arm", "1",
+	)
+	stderr, err := router.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Process.Kill()
+	base := "http://" + waitForAddr(t, stderr, "routing", 120*time.Second)
+
+	var info struct {
+		Channels, Height, Width int
+	}
+	getJSON(t, base+"/v1/model", &info)
+	img := make([]float32, info.Channels*info.Height*info.Width)
+	for i := range img {
+		img[i] = float32(i%11) / 11
+	}
+	body, _ := json.Marshal(map[string]any{"image": img})
+
+	post := func(hdr http.Header) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/classify", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range hdr {
+			req.Header[k] = vs
+		}
+		return http.DefaultClient.Do(req)
+	}
+
+	// 1. The slow, retried request: every replica's first batch stalls
+	// 400ms and corrupts, so this request burns retries across the
+	// fleet and lands well over the 200ms slow threshold.
+	resp, err := post(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos-warmed request: status %d", resp.StatusCode)
+	}
+	slowID := resp.Header.Get("X-Trace-Id")
+	if len(slowID) != 16 {
+		t.Fatalf("X-Trace-Id %q", slowID)
+	}
+
+	// 2. The failing request: an already-expired deadline must come
+	// back 504 without a replica answering.
+	hdr := http.Header{}
+	deadline.Set(hdr, time.Now().Add(-100*time.Millisecond))
+	resp, err = post(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline request: status %d, want 504", resp.StatusCode)
+	}
+
+	// 3. Healthy traffic that must NOT be pinned.
+	for i := 0; i < 5; i++ {
+		resp, err := post(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Flight recorder: exactly the slow 200 and the 504, nothing else.
+	var flight flightDoc
+	getJSON(t, base+"/debug/requests/flight", &flight)
+	if flight.Retained != 2 {
+		t.Fatalf("flight retained %d entries, want 2 (slow + 504): %+v", flight.Retained, flight.Entries)
+	}
+	var sawSlow, saw504 bool
+	for _, e := range flight.Entries {
+		switch {
+		case e.TraceID == slowID:
+			sawSlow = true
+			if e.Status != http.StatusOK || !hasReason(e.Reasons, "slow") {
+				t.Errorf("slow entry = status %d reasons %v, want 200 + slow", e.Status, e.Reasons)
+			}
+		case e.Status == http.StatusGatewayTimeout:
+			saw504 = true
+			if !hasReason(e.Reasons, "deadline_exhausted") || !hasReason(e.Reasons, "status_5xx") {
+				t.Errorf("504 entry reasons %v, want deadline_exhausted + status_5xx", e.Reasons)
+			}
+		default:
+			t.Errorf("unexpected flight entry (a fast 200 got pinned?): %+v", e)
+		}
+	}
+	if !sawSlow || !saw504 {
+		t.Fatalf("flight missing expected entries: %+v", flight.Entries)
+	}
+
+	// Fleet trace: the retried request's spans from the router and both
+	// replicas merged onto one timeline with per-process tracks.
+	traceResp, err := http.Get(base + "/debug/trace/fleet?trace=" + slowID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.ReadJSON(traceResp.Body)
+	traceResp.Body.Close()
+	if err != nil {
+		t.Fatalf("fleet trace round-trip: %v", err)
+	}
+	pids := map[string]int{} // process name → pid
+	for _, e := range log.Events() {
+		if e.Ph == "M" && e.Name == "process_name" {
+			name, _ := e.Args["name"].(string)
+			pids[name] = e.PID
+		}
+	}
+	routerPID, ok := pids["router"]
+	if !ok {
+		t.Fatalf("fleet trace missing router process track: %v", pids)
+	}
+	replicaTracks := 0
+	for name, pid := range pids {
+		if strings.HasPrefix(name, "replica-") {
+			replicaTracks++
+			if pid == routerPID {
+				t.Errorf("replica track %s shares the router pid", name)
+			}
+		}
+	}
+	// The retried request crossed both replicas; require both tracks.
+	if replicaTracks != 2 {
+		t.Fatalf("fleet trace has %d replica process tracks, want 2: %v", replicaTracks, pids)
+	}
+	routerAttempts := 0
+	replicaStageSpans := 0
+	for _, e := range log.Events() {
+		if e.TS < 0 {
+			t.Errorf("event %q has negative ts %v", e.Name, e.TS)
+		}
+		switch {
+		case e.Ph == "X" && e.Name == "attempt" && e.PID == routerPID:
+			routerAttempts++
+			if e.Args["attempt"] == "" || e.Args["hedge"] == "" {
+				t.Errorf("attempt span missing attribution args: %v", e.Args)
+			}
+		case e.Ph == "X" && e.Name == "forward" && e.PID != routerPID:
+			replicaStageSpans++
+			// Inherited attribution: the replica's forward span names the
+			// attempt that launched it.
+			if e.Args["attempt"] == "" {
+				t.Errorf("replica forward span missing inherited attempt tag: %v", e.Args)
+			}
+		}
+	}
+	if routerAttempts < 2 {
+		t.Errorf("fleet trace shows %d router attempt spans, want >= 2 (the request was retried)", routerAttempts)
+	}
+	if replicaStageSpans < 2 {
+		t.Errorf("fleet trace shows %d replica forward spans, want >= 2 (both replicas served an attempt)", replicaStageSpans)
+	}
+
+	// Fleet metrics: valid text grammar, every replica re-exported, and
+	// the merged latency histogram exactly the sum of the re-exported
+	// per-replica series in the same document.
+	fleetText := getText(t, base+"/metrics/fleet")
+	for i, line := range strings.Split(strings.TrimRight(fleetText, "\n"), "\n") {
+		if !promLineRe.MatchString(line) {
+			t.Errorf("/metrics/fleet line %d violates text grammar: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"router_fleet_replicas_scraped 2",
+		"router_fleet_scrape_failures 0",
+		`capsnet_build_info{replica="r0"`,
+		`capsnet_build_info{replica="r1"`,
+		"router_build_info{",
+		`router_slo_availability_ratio{window=`,
+		`router_slo_error_budget_burn_rate{window=`,
+	} {
+		if !strings.Contains(fleetText, want) {
+			t.Errorf("/metrics/fleet missing %q", want)
+		}
+	}
+	assertMergedHistogram(t, fleetText, "capsnet_request_latency_seconds_sum")
+	assertMergedHistogram(t, fleetText, "capsnet_request_latency_seconds_count")
+
+	// Graceful shutdown.
+	if err := router.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- router.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("router exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not exit after SIGINT")
+	}
+}
+
+func hasReason(reasons []string, want string) bool {
+	for _, r := range reasons {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// assertMergedHistogram checks the unlabeled merged series equals the
+// sum of the {replica}-labelled re-exports of the same family, summed
+// in document order — exactly, since both sides add the same parsed
+// values in the same order.
+func assertMergedHistogram(t *testing.T, text, family string) {
+	t.Helper()
+	mergedRe := regexp.MustCompile(`^` + regexp.QuoteMeta(family) + ` (\S+)$`)
+	replicaRe := regexp.MustCompile(`^` + regexp.QuoteMeta(family) + `\{replica="[^"]+"\} (\S+)$`)
+	var merged float64
+	mergedSeen := false
+	var sum float64
+	replicaLines := 0
+	for _, line := range strings.Split(text, "\n") {
+		if m := mergedRe.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("merged %s value %q: %v", family, m[1], err)
+			}
+			merged, mergedSeen = v, true
+			continue
+		}
+		if m := replicaRe.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("replica %s value %q: %v", family, m[1], err)
+			}
+			sum += v
+			replicaLines++
+		}
+	}
+	if !mergedSeen {
+		t.Fatalf("no merged %s series in fleet exposition", family)
+	}
+	if replicaLines != 2 {
+		t.Fatalf("found %d per-replica %s series, want 2", replicaLines, family)
+	}
+	if merged != sum {
+		t.Errorf("merged %s = %v, want exactly %v (sum of per-replica series)", family, merged, sum)
+	}
+}

@@ -23,11 +23,13 @@ var Layercheck = &Analyzer{
 
 // A layerRule constrains the imports of packages matching Pkg (a
 // trailing-segment pattern). If StdlibOnly is set, no project-internal
-// import is allowed at all; otherwise imports matching any Forbid
-// pattern (consecutive-segment match) are rejected.
+// import is allowed except those matching an Allow pattern; otherwise
+// imports matching any Forbid pattern (consecutive-segment match) are
+// rejected.
 type layerRule struct {
 	Pkg        string
 	StdlibOnly bool
+	Allow      []string
 	Forbid     []string
 	Why        string
 }
@@ -47,6 +49,12 @@ var layerRules = []layerRule{
 		Pkg:        "internal/deadline",
 		StdlibOnly: true,
 		Why:        "deadline is a wire contract shared by serve and cluster across the tier boundary; importing either side would create a cycle through the layer DAG",
+	},
+	{
+		Pkg:        "internal/obs",
+		StdlibOnly: true,
+		Allow:      []string{"internal/trace"},
+		Why:        "obs is imported by every tier, so beyond the trace-event writer it must stay standard-library-only; an edge to serve or cluster would invert the layer DAG",
 	},
 	{
 		Pkg:    "internal/capsnet",
@@ -82,7 +90,7 @@ func runLayercheck(pass *Pass) error {
 		for _, imp := range file.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
 			for _, r := range active {
-				if r.StdlibOnly && pass.IsProjectPkg != nil && pass.IsProjectPkg(path) {
+				if r.StdlibOnly && pass.IsProjectPkg != nil && pass.IsProjectPkg(path) && !matchesAny(path, r.Allow) {
 					pass.Reportf(imp.Pos(), "%s must not import %s: %s", r.Pkg, path, r.Why)
 					continue
 				}
@@ -100,6 +108,17 @@ func runLayercheck(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// matchesAny reports whether path matches any of the patterns under
+// hasSegments semantics.
+func matchesAny(path string, patterns []string) bool {
+	for _, p := range patterns {
+		if hasSegments(path, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // hasSegments reports whether path contains pattern's "/"-separated

@@ -1,0 +1,3 @@
+// Package cluster is a dummy router-tier package for the obs layer
+// golden.
+package cluster

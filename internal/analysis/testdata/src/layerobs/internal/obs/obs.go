@@ -1,0 +1,11 @@
+// Package obs is the layercheck golden for the observability-layer
+// rule: stdlib imports and the trace-event writer are fine, any other
+// project import — the router tier especially — inverts the DAG.
+package obs
+
+import (
+	_ "time"
+
+	_ "layerobs/internal/cluster" // want `internal/obs must not import layerobs/internal/cluster: obs is imported by every tier`
+	_ "layerobs/internal/trace"
+)

@@ -1,0 +1,3 @@
+// Package trace is the allowed dependency dummy for the obs layer
+// golden: the trace-event writer is the one project import obs keeps.
+package trace

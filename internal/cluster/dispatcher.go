@@ -60,6 +60,25 @@ type DispatcherConfig struct {
 	Clock obs.Clock
 	// Client performs replica requests; nil uses a private client.
 	Client *http.Client
+	// TraceSample is the fraction of routed requests whose span
+	// timeline (the root route span plus one span per replica attempt,
+	// tagged with replica/attempt/hedge/code) is recorded for
+	// /debug/requests/trace. Default 0: no span recording.
+	TraceSample float64
+	// TraceBuffer is the completed-trace ring capacity behind
+	// /debug/requests/trace. Default 256.
+	TraceBuffer int
+	// FlightBuffer, when positive, arms the tail-sampled flight
+	// recorder (/debug/requests/flight): every routed request records
+	// spans live, and requests ending 5xx, exhausting their deadline,
+	// or exceeding SlowThreshold are pinned. 0 disables it.
+	FlightBuffer int
+	// SlowThreshold, when positive and the flight recorder is armed,
+	// pins any routed request slower than this end to end.
+	SlowThreshold time.Duration
+	// SLOTarget is the availability objective the SLO tracker burns
+	// error budget against, in (0, 1). 0 means DefaultSLOTarget.
+	SLOTarget float64
 }
 
 func (c DispatcherConfig) withDefaults() DispatcherConfig {
@@ -102,6 +121,14 @@ type Dispatcher struct {
 	// deadline arithmetic is testable without wall-clock waits.
 	now   func() time.Time
 	sleep func(time.Duration)
+
+	// tracer records routed-request span timelines (the route span and
+	// per-attempt spans); flight is the tail-sampled recorder (nil when
+	// disabled); slo derives the rolling availability / latency / burn
+	// gauges from terminal responses.
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
+	slo    *SLOTracker
 }
 
 // NewDispatcher builds the routing front over a pool.
@@ -114,6 +141,18 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	if cfg.Clock != nil {
 		d.now = cfg.Clock
 	}
+	d.tracer = obs.NewTracer(obs.TracerConfig{
+		Sample:     cfg.TraceSample,
+		BufferSize: cfg.TraceBuffer,
+		Clock:      cfg.Clock,
+	})
+	if cfg.FlightBuffer > 0 {
+		d.flight = obs.NewFlightRecorder(obs.FlightConfig{
+			Capacity:      cfg.FlightBuffer,
+			SlowThreshold: cfg.SlowThreshold,
+		})
+	}
+	d.slo = NewSLOTracker(cfg.SLOTarget, cfg.Clock)
 	d.mux.HandleFunc("/v1/classify", d.handleClassify)
 	d.mux.HandleFunc("/v1/model", d.handleModel)
 	d.mux.HandleFunc("/v1/replicas", d.handleReplicas)
@@ -122,12 +161,29 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 		io.WriteString(w, "ok\n")
 	})
 	d.mux.HandleFunc("/readyz", d.handleReadyz)
-	d.mux.Handle("/metrics", cfg.Metrics.Handler())
+	d.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.cfg.Metrics.WriteText(w)
+		d.slo.WriteText(w)
+	})
+	d.mux.HandleFunc("/metrics/fleet", d.handleFleetMetrics)
+	d.mux.HandleFunc("/debug/requests/trace", d.handleRequestTrace)
+	d.mux.HandleFunc("/debug/requests/flight", d.handleFlight)
+	d.mux.HandleFunc("/debug/trace/fleet", d.handleFleetTrace)
 	return d, nil
 }
 
 // Metrics returns the dispatcher's counter set.
 func (d *Dispatcher) Metrics() *Metrics { return d.cfg.Metrics }
+
+// Tracer returns the dispatcher's request tracer.
+func (d *Dispatcher) Tracer() *obs.Tracer { return d.tracer }
+
+// Flight returns the flight recorder (nil when disabled).
+func (d *Dispatcher) Flight() *obs.FlightRecorder { return d.flight }
+
+// SLO returns the rolling SLO tracker.
+func (d *Dispatcher) SLO() *SLOTracker { return d.slo }
 
 // Handler returns the router's full HTTP surface.
 func (d *Dispatcher) Handler() http.Handler { return d.mux }
@@ -212,13 +268,16 @@ type attemptResult struct {
 	terminal bool
 	// retryAfter carries a 429's backoff hint.
 	retryAfter time.Duration
+	// launchIdx indexes the launch bookkeeping inside one attempt, so
+	// a result pairs back to its span even when span IDs are absent.
+	launchIdx int
 }
 
 // send performs one classify round trip against a replica and
 // classifies the outcome. A non-zero dl is propagated as the absolute
 // deadline header so the replica can refuse or abort work the client
 // will never read.
-func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, traceID string, dl time.Time) attemptResult {
+func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, traceID, parentSpan string, dl time.Time) attemptResult {
 	res := attemptResult{replica: rep.Name}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+"/v1/classify", bytes.NewReader(body))
 	if err != nil {
@@ -226,7 +285,13 @@ func (d *Dispatcher) send(ctx context.Context, rep ReplicaInfo, body []byte, tra
 		return res
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Trace-Id", traceID)
+	req.Header.Set(obs.TraceIDHeader, traceID)
+	if parentSpan != "" {
+		// The attempt's span ID travels as the replica's parent span, so
+		// the replica-side stage spans attribute to exactly this attempt
+		// (retries and hedges each mint their own).
+		req.Header.Set(obs.ParentSpanHeader, parentSpan)
+	}
 	if !dl.IsZero() {
 		deadline.Set(req.Header, dl)
 	}
@@ -294,7 +359,7 @@ func validClassifyBody(body []byte) bool {
 // vetoes the hedge when the budget cannot cover HedgeDelay plus one
 // ExpectedServiceTime — a hedge that cannot finish in time is pure
 // load amplification with no chance of helping the client.
-func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaInfo, body []byte, traceID string, hedgesLeft *int, dl time.Time) attemptResult {
+func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaInfo, body []byte, traceID string, hedgesLeft *int, dl time.Time, t *obs.Trace, attemptNo int, rootSpan string) attemptResult {
 	timeout := d.cfg.AttemptTimeout
 	if !dl.IsZero() {
 		if remaining := dl.Sub(d.now()); remaining < timeout {
@@ -304,11 +369,59 @@ func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaI
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	resCh := make(chan attemptResult, 2)
-	launch := func(target ReplicaInfo) {
-		go func() { resCh <- d.send(ctx, target, body, traceID, dl) }()
+	// launchRec tracks one launched round trip's span identity so its
+	// attempt span lands on the trace whether the response arrives, is
+	// abandoned mid-flight, or loses a hedge race.
+	type launchRec struct {
+		spanID  string
+		replica string
+		hedge   bool
+		start   time.Time
+		done    bool
 	}
-	launch(rep)
+	var launches []*launchRec
+	record := func(rec *launchRec, code string) {
+		rec.done = true
+		if t == nil {
+			return
+		}
+		t.AddSpan(obs.Span{
+			Name: "attempt", Iter: -1, Start: rec.start, End: d.now(),
+			ID: rec.spanID, Parent: rootSpan,
+			Tags: map[string]string{
+				"replica": rec.replica,
+				"attempt": strconv.Itoa(attemptNo),
+				"hedge":   strconv.FormatBool(rec.hedge),
+				"code":    code,
+			},
+		})
+	}
+	// Stragglers (the cancelled loser of a hedge race, or a launch
+	// still in flight when the deadline kills the attempt) are closed
+	// out here so every launch leaves exactly one span.
+	defer func() {
+		for _, rec := range launches {
+			if !rec.done {
+				record(rec, "abandoned")
+			}
+		}
+	}()
+
+	resCh := make(chan attemptResult, 2)
+	launch := func(target ReplicaInfo, hedge bool) {
+		rec := &launchRec{replica: target.Name, hedge: hedge, start: d.now()}
+		if t != nil {
+			rec.spanID = obs.NewID()
+		}
+		idx := len(launches)
+		launches = append(launches, rec)
+		go func() {
+			res := d.send(ctx, target, body, traceID, rec.spanID, dl)
+			res.launchIdx = idx
+			resCh <- res
+		}()
+	}
+	launch(rep, false)
 	launched := 1
 
 	var hedgeTimer <-chan time.Time
@@ -329,6 +442,7 @@ func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaI
 		case res := <-resCh:
 			received++
 			d.cfg.Metrics.IncReplicaRequest(res.replica, res.code)
+			record(launches[res.launchIdx], res.code)
 			if res.ok || res.terminal {
 				// cancel() aborts the straggler attempt on return.
 				return res
@@ -342,7 +456,7 @@ func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaI
 				slog.String("trace_id", traceID),
 				slog.String("primary", rep.Name),
 				slog.String("hedge", alt.Name))
-			launch(*alt)
+			launch(*alt, true)
 			launched++
 		}
 	}
@@ -353,7 +467,7 @@ func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaI
 // spend the retry budget placing and re-placing it until a valid
 // replica response (or a deterministic rejection) comes back.
 func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := d.now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -363,11 +477,42 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "reading body", http.StatusBadRequest)
 		return
 	}
-	traceID := r.Header.Get("X-Trace-Id")
+	traceID := r.Header.Get(obs.TraceIDHeader)
 	if traceID == "" {
-		traceID = obs.NewID()
+		traceID = d.tracer.NewID()
 	}
-	w.Header().Set("X-Trace-Id", traceID)
+	w.Header().Set(obs.TraceIDHeader, traceID)
+
+	// Span recording: a flight-armed router records every request live
+	// (the tail-sampling verdict comes at completion); otherwise only
+	// counter-sampled requests carry a trace. The root route span gets
+	// an ID so attempt spans (and, transitively, replica-side stage
+	// spans) hang under it.
+	var t *obs.Trace
+	if d.flight != nil {
+		t = d.tracer.StartAlways(traceID, start)
+	} else {
+		t = d.tracer.StartRequest(traceID, start)
+	}
+	rootSpan := ""
+	if t != nil {
+		rootSpan = obs.NewID()
+	}
+	// finish closes out one terminal (client-visible) outcome: the
+	// route span, trace retention, the flight-recorder offer, and the
+	// SLO window observation.
+	finish := func(status int, reasons ...string) {
+		end := d.now()
+		if t != nil {
+			t.AddSpan(obs.Span{
+				Name: "route", Iter: -1, Start: start, End: end, ID: rootSpan,
+				Tags: map[string]string{"code": strconv.Itoa(status)},
+			})
+			d.tracer.Finish(t, end)
+		}
+		d.flight.Note(t, status, end.Sub(start), 0, reasons...)
+		d.slo.Observe(status, end.Sub(start))
+	}
 
 	// Deadline propagation: honor a client-supplied absolute deadline,
 	// or assign one from DefaultBudget so the whole retry/hedge ladder
@@ -375,6 +520,7 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// client sent no header and no default budget is configured.
 	dl, hasDL, err := deadline.FromRequest(r.Header)
 	if err != nil {
+		finish(http.StatusBadRequest)
 		http.Error(w, fmt.Sprintf("invalid %s header: %v", deadline.Header, err), http.StatusBadRequest)
 		return
 	}
@@ -427,15 +573,17 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 			alt = &a
 		}
 
-		res := d.attempt(r.Context(), rep, alt, body, traceID, &hedgesLeft, dl)
+		res := d.attempt(r.Context(), rep, alt, body, traceID, &hedgesLeft, dl, t, attemptNo, rootSpan)
 		if res.ok || res.terminal {
-			d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
+			elapsed := d.now().Sub(start)
+			d.cfg.Metrics.ObserveLatency(elapsed.Seconds())
+			finish(res.status)
 			d.logger().Debug("classify routed",
 				slog.String("trace_id", traceID),
 				slog.String("replica", res.replica),
 				slog.Int("status", res.status),
 				slog.Int("attempts", attemptNo),
-				slog.Duration("elapsed", time.Since(start)))
+				slog.Duration("elapsed", elapsed))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(res.status)
 			w.Write(res.body)
@@ -457,9 +605,10 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// Budget exhausted. When the request's deadline ran out first, 504
 	// names the real failure (out of time, not out of replicas) and the
 	// client learns there is no point retrying this request.
-	d.cfg.Metrics.ObserveLatency(time.Since(start).Seconds())
+	d.cfg.Metrics.ObserveLatency(d.now().Sub(start).Seconds())
 	if deadlineHit {
 		d.cfg.Metrics.IncDeadlineExhausted()
+		finish(http.StatusGatewayTimeout, obs.FlightReasonDeadlineExhausted)
 		d.logger().Warn("classify deadline exhausted",
 			slog.String("trace_id", traceID),
 			slog.String("last_code", last.code))
@@ -473,10 +622,12 @@ func (d *Dispatcher) handleClassify(w http.ResponseWriter, r *http.Request) {
 		slog.String("last_code", last.code),
 		slog.Int("attempts", d.cfg.MaxAttempts))
 	if last.code == "429" {
+		finish(http.StatusTooManyRequests)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "all replicas saturated", http.StatusTooManyRequests)
 		return
 	}
+	finish(http.StatusBadGateway)
 	http.Error(w, "no replica produced a valid response", http.StatusBadGateway)
 }
 

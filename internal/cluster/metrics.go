@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"pimcapsnet/internal/obs"
 )
 
 // latencyBounds are the router request-latency bucket upper bounds in
@@ -118,6 +120,8 @@ func (m *Metrics) ObserveLatency(seconds float64) {
 
 // WriteText emits the Prometheus text exposition.
 func (m *Metrics) WriteText(w io.Writer) {
+	version, goVersion := obs.BuildInfo()
+	fmt.Fprintf(w, "router_build_info{version=%q,go_version=%q} 1\n", version, goVersion)
 	var snapshot []ReplicaInfo
 	if m.Snapshot != nil {
 		snapshot = m.Snapshot()

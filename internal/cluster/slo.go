@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pimcapsnet/internal/obs"
+)
+
+// SLO window lengths: the fast window catches an active incident
+// within a minute, the slow window tells sustained degradation from a
+// blip — the standard two-window burn-rate alerting shape.
+var sloWindows = []time.Duration{time.Minute, 10 * time.Minute}
+
+// sloSlotCount sizes the per-second ring to cover the longest window.
+const sloSlotCount = 600
+
+// DefaultSLOTarget is the availability objective when the config
+// leaves it zero: 99.9% of routed requests answered below 5xx.
+const DefaultSLOTarget = 0.999
+
+// sloSlot aggregates one second of terminal router responses.
+type sloSlot struct {
+	sec    int64 // unix second this slot currently holds; 0 = empty
+	total  uint64
+	errors uint64
+	// buckets are cumulative-format-free per-bucket latency counts on
+	// the latencyBounds layout (+Inf last), for windowed quantiles.
+	// Nil until the slot first fills.
+	buckets []uint64
+}
+
+// SLOTracker keeps a rolling per-second window of terminal router
+// responses and derives the SLO gauges: availability ratio, windowed
+// latency p99, and error-budget burn rate over 1m/10m windows. Safe
+// for concurrent use.
+type SLOTracker struct {
+	target float64
+	clock  obs.Clock
+
+	mu    sync.Mutex
+	slots [sloSlotCount]sloSlot
+}
+
+// NewSLOTracker builds a tracker with the given availability target
+// (0 means DefaultSLOTarget) and clock (nil means time.Now).
+func NewSLOTracker(target float64, clock obs.Clock) *SLOTracker {
+	if target <= 0 || target >= 1 {
+		target = DefaultSLOTarget
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &SLOTracker{target: target, clock: clock}
+}
+
+// Target returns the availability objective.
+func (s *SLOTracker) Target() float64 { return s.target }
+
+// Observe records one terminal (client-visible) router response. A
+// status of 500 or above spends error budget; 4xx is the client's
+// fault and 429 is backpressure, neither an availability failure.
+func (s *SLOTracker) Observe(status int, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	sec := s.clock().Unix()
+	lat := latency.Seconds()
+	if lat < 0 {
+		lat = 0
+	}
+	b := sort.SearchFloat64s(latencyBounds, lat)
+	s.mu.Lock()
+	slot := &s.slots[sec%sloSlotCount]
+	if slot.sec != sec {
+		*slot = sloSlot{sec: sec, buckets: make([]uint64, len(latencyBounds)+1)}
+	}
+	slot.total++
+	if status >= 500 {
+		slot.errors++
+	}
+	slot.buckets[b]++
+	s.mu.Unlock()
+}
+
+// windowSums aggregates the slots covering the last window seconds.
+func (s *SLOTracker) windowSums(window time.Duration) (total, errors uint64, buckets []uint64) {
+	buckets = make([]uint64, len(latencyBounds)+1)
+	now := s.clock().Unix()
+	oldest := now - int64(window/time.Second) + 1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.slots {
+		slot := &s.slots[i]
+		if slot.sec < oldest || slot.sec > now {
+			continue
+		}
+		total += slot.total
+		errors += slot.errors
+		for j := range slot.buckets {
+			buckets[j] += slot.buckets[j]
+		}
+	}
+	return total, errors, buckets
+}
+
+// Availability returns the fraction of the window's terminal responses
+// that were not 5xx, and the response count. An empty window reports
+// 1 — no traffic spends no error budget.
+func (s *SLOTracker) Availability(window time.Duration) (ratio float64, total uint64) {
+	total, errors, _ := s.windowSums(window)
+	if total == 0 {
+		return 1, 0
+	}
+	return 1 - float64(errors)/float64(total), total
+}
+
+// LatencyP99 estimates the window's 99th-percentile latency from the
+// bucketed counts by linear interpolation (ranks in the +Inf bucket
+// clip to the largest finite bound). 0 when the window is empty.
+func (s *SLOTracker) LatencyP99(window time.Duration) float64 {
+	total, _, buckets := s.windowSums(window)
+	if total == 0 {
+		return 0
+	}
+	maxBound := latencyBounds[len(latencyBounds)-1]
+	rank := 0.99 * float64(total)
+	var cum float64
+	for i := range buckets {
+		n := float64(buckets[i])
+		if n == 0 || cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == len(latencyBounds) {
+			return maxBound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBounds[i-1]
+		}
+		return lo + (latencyBounds[i]-lo)*(rank-cum)/n
+	}
+	return maxBound
+}
+
+// BurnRate returns how fast the window is spending error budget: the
+// observed error ratio divided by the budget (1 − target). 1 means
+// exactly on target; 0 means a clean window; values ≫ 1 mean the
+// budget drains that many times faster than allowed.
+func (s *SLOTracker) BurnRate(window time.Duration) float64 {
+	ratio, total := s.Availability(window)
+	if total == 0 {
+		return 0
+	}
+	return (1 - ratio) / (1 - s.target)
+}
+
+// WriteText emits the SLO gauge families in Prometheus text format.
+func (s *SLOTracker) WriteText(w io.Writer) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "router_slo_target %g\n", s.target)
+	for _, win := range sloWindows {
+		label := win.String()
+		ratio, total := s.Availability(win)
+		fmt.Fprintf(w, "router_slo_availability_ratio{window=%q} %g\n", label, ratio)
+		fmt.Fprintf(w, "router_slo_requests{window=%q} %d\n", label, total)
+		fmt.Fprintf(w, "router_slo_latency_p99_seconds{window=%q} %g\n", label, s.LatencyP99(win))
+		fmt.Fprintf(w, "router_slo_error_budget_burn_rate{window=%q} %g\n", label, s.BurnRate(win))
+	}
+}

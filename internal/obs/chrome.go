@@ -37,10 +37,23 @@ func BuildChromeLog(traces []*Trace, epoch time.Time) *trace.Log {
 			continue
 		}
 		tid := i + 1
+		parent := t.Parent()
 		for _, s := range t.Spans() {
 			args := map[string]string{"trace_id": t.ID}
 			if s.Iter >= 0 {
 				args["iteration"] = strconv.Itoa(s.Iter)
+			}
+			if s.ID != "" {
+				args["span_id"] = s.ID
+			}
+			switch {
+			case s.Parent != "":
+				args["parent_span"] = s.Parent
+			case parent != "":
+				args["parent_span"] = parent
+			}
+			for k, v := range s.Tags {
+				args[k] = v
 			}
 			dur := ts(s.End) - ts(s.Start)
 			if dur < 0 {

@@ -40,6 +40,16 @@ import (
 // Clock is the time source; injectable for deterministic tests.
 type Clock func() time.Time
 
+// Wire headers carrying trace identity across process boundaries.
+// X-Trace-Id names the whole request story; X-Parent-Span names the
+// upstream span an attempt's downstream spans hang under — the router
+// mints a fresh span ID per attempt (retries and hedges included), so
+// each replica's stage spans attribute to exactly one attempt.
+const (
+	TraceIDHeader    = "X-Trace-Id"
+	ParentSpanHeader = "X-Parent-Span"
+)
+
 // Span is one timed operation inside a request or batch: a stage of
 // the serving pipeline or of the forward pass.
 type Span struct {
@@ -53,6 +63,16 @@ type Span struct {
 	Iter int
 	// Start and End bound the stage.
 	Start, End time.Time
+	// ID is the span's own identity (16 hex chars), set only for spans
+	// that downstream spans reference as a parent — the router's
+	// per-attempt spans. Empty for plain stage spans.
+	ID string
+	// Parent is the span ID this span hangs under, when known.
+	Parent string
+	// Tags annotate the span (attempt="2", hedge="true", replica="r1",
+	// ...). Nil for untagged spans, so the common case allocates
+	// nothing.
+	Tags map[string]string
 }
 
 // Trace collects the spans of one request (or, transiently, of one
@@ -67,9 +87,14 @@ type Trace struct {
 	// Start is when the request was admitted.
 	Start time.Time
 
-	mu    sync.Mutex
-	end   time.Time
-	spans []Span
+	mu     sync.Mutex
+	end    time.Time
+	parent string
+	spans  []Span
+	// sampled marks traces the counter sampler chose for the
+	// completed-trace ring; a flight-recorder-armed server records
+	// every request live but only ring-retains sampled ones.
+	sampled bool
 }
 
 // Add records one completed span. No-op on a nil receiver.
@@ -80,6 +105,49 @@ func (t *Trace) Add(name string, iter int, start, end time.Time) {
 	t.mu.Lock()
 	t.spans = append(t.spans, Span{Name: name, Iter: iter, Start: start, End: end})
 	t.mu.Unlock()
+}
+
+// AddSpan records one completed span with full identity (ID, parent,
+// tags) — the form the router's per-attempt spans use. No-op on a nil
+// receiver.
+func (t *Trace) AddSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// SetParent records the upstream span ID this trace's spans hang
+// under (the X-Parent-Span request header). No-op on a nil receiver.
+func (t *Trace) SetParent(spanID string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.parent = spanID
+	t.mu.Unlock()
+}
+
+// Parent returns the upstream span ID set by SetParent ("" if none or
+// on a nil receiver).
+func (t *Trace) Parent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parent
+}
+
+// Sampled reports whether the counter sampler chose this trace for
+// the completed-trace ring (false on a nil receiver).
+func (t *Trace) Sampled() bool {
+	if t == nil {
+		return false
+	}
+	return t.sampled
 }
 
 // AddSpans bulk-copies spans (a batch trace's stage spans) into t.

@@ -95,26 +95,47 @@ func (tr *Tracer) NewID() string { return tr.newID() }
 // nil trace is the fast path — every downstream span site degrades to
 // a pointer check.
 func (tr *Tracer) StartRequest(id string, start time.Time) *Trace {
-	if tr.every == 0 {
+	if !tr.decide() {
 		return nil
+	}
+	return &Trace{ID: id, Start: start, sampled: true}
+}
+
+// StartAlways returns a live trace for every request — the mode a
+// flight-recorder-armed server runs in, where the spans of a request
+// that turns out bad must exist even if the counter sampler skipped
+// it. The sampling decision still runs and is recorded on the trace:
+// Finish ring-retains only sampled traces, so the ring's contents are
+// identical to StartRequest's.
+func (tr *Tracer) StartAlways(id string, start time.Time) *Trace {
+	return &Trace{ID: id, Start: start, sampled: tr.decide()}
+}
+
+// decide makes one counter-sampling decision.
+func (tr *Tracer) decide() bool {
+	if tr.every == 0 {
+		return false
 	}
 	tr.mu.Lock()
 	tr.seq++
 	sampled := tr.seq%tr.every == 0
 	tr.mu.Unlock()
-	if !sampled {
-		return nil
-	}
-	return &Trace{ID: id, Start: start}
+	return sampled
 }
 
 // Finish stamps the request's end time and retains the trace in the
-// ring, evicting the oldest entry once full. No-op for nil traces.
+// ring, evicting the oldest entry once full. No-op for nil traces;
+// unsampled live traces (StartAlways under a skipping counter) get
+// their end stamp but stay out of the ring — the flight recorder is
+// their only route to retention.
 func (tr *Tracer) Finish(t *Trace, end time.Time) {
 	if t == nil {
 		return
 	}
 	t.setEnd(end)
+	if !t.sampled {
+		return
+	}
 	tr.mu.Lock()
 	if len(tr.ring) < cap(tr.ring) {
 		tr.ring = append(tr.ring, t)
@@ -150,6 +171,23 @@ func (tr *Tracer) Last(n int) []*Trace {
 		out = append(out, tr.ring[(tr.next+i)%len(tr.ring)])
 	}
 	return out[len(out)-n:]
+}
+
+// Find returns the ring-retained traces whose ID equals id, oldest
+// first. Retries can land several traces with the same ID in one
+// process (each attempt is its own request to a replica), so this
+// returns all of them.
+func (tr *Tracer) Find(id string) []*Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []*Trace
+	for i := 0; i < len(tr.ring); i++ {
+		t := tr.ring[(tr.next+i)%len(tr.ring)]
+		if t != nil && t.ID == id {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // ctxKey keys the request trace info in a context.

@@ -61,6 +61,18 @@ type Config struct {
 	// TraceBuffer is how many completed request traces the ring buffer
 	// behind /debug/requests/trace retains. Default 256.
 	TraceBuffer int
+	// FlightBuffer, when positive, arms the tail-sampled flight
+	// recorder: every request records spans live, and the full span set
+	// of requests that end 5xx, ride an aborted batch, run under
+	// brownout, or exceed SlowThreshold is pinned (up to FlightBuffer
+	// entries) at /debug/requests/flight. 0 (the default) disables the
+	// recorder entirely — the hot path then pays nothing beyond the
+	// counter sampler.
+	FlightBuffer int
+	// SlowThreshold, when positive and the flight recorder is armed,
+	// pins any request slower than this end-to-end regardless of
+	// status. 0 disables the slow trigger.
+	SlowThreshold time.Duration
 	// Logger, when non-nil, receives one structured log record per
 	// classify request (trace ID, status, latency, batch size). Nil
 	// disables request logging.
@@ -151,6 +163,12 @@ func (c Config) Validate() error {
 	}
 	if c.TraceBuffer < 1 {
 		return fmt.Errorf("serve: TraceBuffer %d, need ≥ 1", c.TraceBuffer)
+	}
+	if c.FlightBuffer < 0 {
+		return fmt.Errorf("serve: FlightBuffer %d, need ≥ 0", c.FlightBuffer)
+	}
+	if c.SlowThreshold < 0 {
+		return fmt.Errorf("serve: negative SlowThreshold %v", c.SlowThreshold)
 	}
 	if err := c.Brownout.validate(); err != nil {
 		return err

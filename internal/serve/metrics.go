@@ -383,6 +383,8 @@ func (m *Metrics) CheckpointRejections() uint64 { return m.checkpointRejts.Load(
 
 // WriteText emits the full text exposition.
 func (m *Metrics) WriteText(w io.Writer) {
+	version, goVersion := obs.BuildInfo()
+	fmt.Fprintf(w, "capsnet_build_info{version=%q,go_version=%q} 1\n", version, goVersion)
 	fmt.Fprintf(w, "capsnet_requests_total %d\n", m.requests.Load())
 	for i, c := range responseCodesArray {
 		fmt.Fprintf(w, "capsnet_responses_total{code=\"%d\"} %d\n", c, m.responses[i].Load())

@@ -65,6 +65,9 @@ type Server struct {
 	// tracer issues per-request trace IDs, samples span timelines, and
 	// retains completed traces for /debug/requests/trace.
 	tracer *obs.Tracer
+	// flight is the tail-sampled flight recorder behind
+	// /debug/requests/flight; nil when Config.FlightBuffer is 0.
+	flight *obs.FlightRecorder
 	// clock is the observability time source (Config.Clock or
 	// time.Now).
 	clock obs.Clock
@@ -204,6 +207,12 @@ func newServer(network *capsnet.Network, cfg Config, b *Batcher, m *Metrics) *Se
 			Clock:      cfg.Clock,
 		}),
 	}
+	if cfg.FlightBuffer > 0 {
+		s.flight = obs.NewFlightRecorder(obs.FlightConfig{
+			Capacity:      cfg.FlightBuffer,
+			SlowThreshold: cfg.SlowThreshold,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
@@ -211,6 +220,7 @@ func newServer(network *capsnet.Network, cfg Config, b *Batcher, m *Metrics) *Se
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", m.Handler())
 	s.mux.HandleFunc("/debug/requests/trace", s.handleRequestTrace)
+	s.mux.HandleFunc("/debug/requests/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -222,6 +232,11 @@ func newServer(network *capsnet.Network, cfg Config, b *Batcher, m *Metrics) *Se
 // Tracer exposes the request tracer (tests and the shutdown trace
 // export in cmd/capsnet-serve read the ring through it).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Flight exposes the flight recorder (nil when disabled); the
+// shutdown trace export merges its pinned traces with the sampled
+// ring.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Handler returns the root handler (mount it on an http.Server or
 // httptest.Server).
@@ -254,13 +269,25 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// correlation); only sampled requests get a live span trace. A
 	// caller-supplied X-Trace-Id is honored so IDs can follow a request
 	// across services.
-	id := r.Header.Get("X-Trace-Id")
+	id := r.Header.Get(obs.TraceIDHeader)
 	if id == "" {
 		id = s.tracer.NewID()
 	}
-	t := s.tracer.StartRequest(id, start)
+	// A flight-recorder-armed server records every request live (the
+	// bad ones must have spans to pin); the tail-sampling decision
+	// happens at completion. Otherwise only counter-sampled requests
+	// carry a trace.
+	var t *obs.Trace
+	if s.flight != nil {
+		t = s.tracer.StartAlways(id, start)
+	} else {
+		t = s.tracer.StartRequest(id, start)
+	}
+	if parent := r.Header.Get(obs.ParentSpanHeader); parent != "" {
+		t.SetParent(parent)
+	}
 	r = r.WithContext(obs.WithTrace(r.Context(), id, t))
-	code, body := s.classify(r)
+	code, body, flightReasons := s.classify(r)
 	s.metrics.IncResponse(code)
 	if code == http.StatusTooManyRequests {
 		// Backpressure: a slot frees up after at most one batch fill,
@@ -268,7 +295,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Trace-Id", id)
+	w.Header().Set(obs.TraceIDHeader, id)
 	w.WriteHeader(code)
 	encStart := s.clock()
 	json.NewEncoder(w).Encode(body)
@@ -277,8 +304,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	t.Add(StageEncode, -1, encStart, end)
 	if t != nil {
 		s.tracer.Finish(t, end)
-		s.metrics.IncTraces()
+		if t.Sampled() {
+			s.metrics.IncTraces()
+		}
 	}
+	brLvl := 0
+	if s.metrics.BrownoutLevel != nil {
+		brLvl = s.metrics.BrownoutLevel()
+	}
+	s.flight.Note(t, code, end.Sub(start), brLvl, flightReasons...)
 	latency := end.Sub(start).Seconds()
 	s.metrics.Latency.Observe(latency)
 	if s.logger != nil {
@@ -298,18 +332,33 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			slog.Int("status", code),
 			slog.Float64("latency_seconds", latency),
 			slog.Int("batch", batch),
-			slog.Bool("sampled", t != nil),
+			slog.Bool("sampled", t.Sampled()),
 		)
 	}
 }
 
 // handleRequestTrace serves the completed-trace ring as Chrome
 // trace-event JSON (load the response in Perfetto / chrome://tracing).
-// ?last=N bounds how many most-recent requests are included.
+// ?last=N bounds how many most-recent requests are included;
+// ?trace=<id> restricts to the traces of one request (union of the
+// sampled ring and the flight recorder's pins); &format=spans
+// switches the ?trace response to the fragment JSON the router's
+// fleet merger consumes.
 func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if id := q.Get("trace"); id != "" {
+		traces := s.findTraces(id)
+		w.Header().Set("Content-Type", "application/json")
+		if q.Get("format") == "spans" {
+			obs.WriteFragments(w, traces)
+			return
+		}
+		obs.WriteChromeTrace(w, traces, s.tracer.Epoch())
+		return
+	}
 	n := s.cfg.TraceBuffer
-	if q := r.URL.Query().Get("last"); q != "" {
-		v, err := strconv.Atoi(q)
+	if qv := q.Get("last"); qv != "" {
+		v, err := strconv.Atoi(qv)
 		if err != nil || v < 1 {
 			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
 			return
@@ -320,31 +369,63 @@ func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
 	obs.WriteChromeTrace(w, s.tracer.Last(n), s.tracer.Epoch())
 }
 
+// findTraces unions the sampled ring's and the flight recorder's
+// traces for one trace ID, deduplicated by pointer (a pinned trace
+// can also be ring-retained).
+func (s *Server) findTraces(id string) []*obs.Trace {
+	traces := s.tracer.Find(id)
+	if s.flight != nil {
+		seen := make(map[*obs.Trace]bool, len(traces))
+		for _, t := range traces {
+			seen[t] = true
+		}
+		for _, t := range s.flight.Find(id) {
+			if !seen[t] {
+				traces = append(traces, t)
+			}
+		}
+	}
+	return traces
+}
+
+// handleFlight serves the flight recorder's pinned requests as JSON.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled (set FlightBuffer > 0)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}
+
 // errorBody is the JSON error payload.
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) classify(r *http.Request) (int, any) {
+// classify runs the request through validation and the batcher. The
+// third return lists caller-known flight-recorder pin reasons (batch
+// aborted) the status code alone cannot convey.
+func (s *Server) classify(r *http.Request) (int, any, []string) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "POST only"}
+		return http.StatusMethodNotAllowed, errorBody{Error: "POST only"}, nil
 	}
 	aStart := s.clock()
 	var req ClassifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)}
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding body: %v", err)}, nil
 	}
 	if len(req.Image) != s.imgLen {
 		return http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("image has %d values, want %d (C×H×W = %d×%d×%d)",
 				len(req.Image), s.imgLen, s.net.Config.InputChannels, s.net.Config.InputH, s.net.Config.InputW),
-		}
+		}, nil
 	}
 	for i, v := range req.Image {
 		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
 			return http.StatusBadRequest, errorBody{
 				Error: fmt.Sprintf("image[%d] is %v; pixels must be finite", i, v),
-			}
+			}, nil
 		}
 	}
 	// Admission closes here: decode + validation done, the request
@@ -360,12 +441,12 @@ func (s *Server) classify(r *http.Request) (int, any) {
 	// inference for a caller that stopped waiting is pure waste.
 	dl, hasDL, err := deadline.FromRequest(r.Header)
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid %s header: %v", deadline.Header, err)}
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid %s header: %v", deadline.Header, err)}, nil
 	}
 	now := time.Now()
 	if hasDL && !dl.After(now) {
 		s.metrics.IncDeadlineExpired()
-		return http.StatusGatewayTimeout, errorBody{Error: "deadline already expired on arrival"}
+		return http.StatusGatewayTimeout, errorBody{Error: "deadline already expired on arrival"}, nil
 	}
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -381,28 +462,29 @@ func (s *Server) classify(r *http.Request) (int, any) {
 	pred, batch, err := s.batcher.Submit(ctx, req.Image)
 	switch {
 	case err == nil:
-		return http.StatusOK, ClassifyResponse{Class: pred.Class, Probs: pred.Probs, Poses: pred.Poses, Batch: batch}
+		return http.StatusOK, ClassifyResponse{Class: pred.Class, Probs: pred.Probs, Poses: pred.Poses, Batch: batch}, nil
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests, errorBody{Error: "admission queue full, retry later"}
+		return http.StatusTooManyRequests, errorBody{Error: "admission queue full, retry later"}, nil
 	case errors.Is(err, ErrClosed):
-		return http.StatusServiceUnavailable, errorBody{Error: "server shutting down"}
+		return http.StatusServiceUnavailable, errorBody{Error: "server shutting down"}, nil
 	case errors.Is(err, context.DeadlineExceeded):
 		if hasDL {
 			s.metrics.IncDeadlineExpired()
 		}
-		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
+		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}, nil
 	case errors.Is(err, ErrBatchAborted):
 		// Defensive: abort predictions only exist once every rider
 		// expired, so normally ctx.Err() wins the Submit select first.
-		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"}
+		return http.StatusGatewayTimeout, errorBody{Error: "request deadline exceeded"},
+			[]string{obs.FlightReasonBatchAborted}
 	case errors.Is(err, ErrNonFinite):
-		return http.StatusInternalServerError, errorBody{Error: "model produced non-finite output for this input (exact-math fallback did not recover it)"}
+		return http.StatusInternalServerError, errorBody{Error: "model produced non-finite output for this input (exact-math fallback did not recover it)"}, nil
 	case errors.Is(err, ErrBatchPanic):
-		return http.StatusInternalServerError, errorBody{Error: "inference failed for this batch; the server recovered and keeps serving"}
+		return http.StatusInternalServerError, errorBody{Error: "inference failed for this batch; the server recovered and keeps serving"}, nil
 	case errors.Is(err, ErrBatchTimeout):
-		return http.StatusInternalServerError, errorBody{Error: "inference exceeded the batch deadline and was abandoned"}
+		return http.StatusInternalServerError, errorBody{Error: "inference exceeded the batch deadline and was abandoned"}, nil
 	default:
-		return http.StatusInternalServerError, errorBody{Error: err.Error()}
+		return http.StatusInternalServerError, errorBody{Error: err.Error()}, nil
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 // Event is one timeline entry (a subset of the trace-event spec:
-// complete "X", instant "i", and counter "C" events).
+// complete "X", instant "i", counter "C", and metadata "M" events).
 type Event struct {
 	Name string  `json:"name"`
 	Cat  string  `json:"cat,omitempty"`
@@ -71,6 +71,26 @@ func (l *Log) Instant(name, cat string, pid, tid int, ts float64, args map[strin
 	})
 }
 
+// ProcessName records a metadata ("M") event naming the process pid —
+// trace viewers label pid's whole track group with it, which is how a
+// merged fleet trace shows "router" and "replica-0..N" as distinct
+// process tracks on one timeline.
+func (l *Log) ProcessName(pid int, name string) {
+	l.events = append(l.events, Event{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName records a metadata ("M") event naming thread tid within
+// process pid (e.g. one attempt's track inside a replica process).
+func (l *Log) ThreadName(pid, tid int, name string) {
+	l.events = append(l.events, Event{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
 // Counter records a counter ("C") sample at ts microseconds: each
 // series name maps to its value at that instant, and trace viewers
 // render the series as a stacked area chart on its own track.
@@ -125,7 +145,7 @@ func ReadJSON(r io.Reader) (*Log, error) {
 	}
 	for i, e := range payload.TraceEvents {
 		switch e.Ph {
-		case "X", "i", "C":
+		case "X", "i", "C", "M":
 		default:
 			return nil, fmt.Errorf("trace: event %d has unsupported phase %q", i, e.Ph)
 		}
