@@ -2,12 +2,21 @@
 # regenerate BENCH_BASELINE.json with `make bench-baseline` whenever a
 # PR intentionally shifts hot-path performance, and run `make
 # bench-gate` to check a working tree against it (see
-# internal/benchgate for the gate rules).
+# internal/benchgate for the gate rules). The load-baseline/slo-gate
+# pair is its tail-latency sibling: cmd/capsnet-load spawns a replica,
+# replays a seeded open-loop schedule, and internal/slogate diffs the
+# run against SLO_BASELINE.json.
 
 GO      ?= go
 BENCHES  = $(GO) test -bench=. -benchtime=5x -benchmem -count=6 -run '^$$' .
 
-.PHONY: build test bench bench-baseline bench-gate fmt vet lint
+# One reference operating point shared by baseline and gate so both
+# always measure the same schedule (slogate rejects mismatches).
+LOADFLAGS = -shape constant -rate 50 -duration 5s -seed 42 \
+            -sweep 25,50,100,200 -sweep-duration 2s \
+            -spawn ./capsnet-serve-bin -baseline SLO_BASELINE.json
+
+.PHONY: build test bench bench-baseline bench-gate load-baseline slo-gate fmt vet lint
 
 build:
 	$(GO) build ./...
@@ -39,3 +48,17 @@ bench-gate:
 	$(BENCHES) | tee BENCH_raw.txt
 	$(GO) run ./cmd/pimcaps-bench -bench-input BENCH_raw.txt -baseline BENCH_BASELINE.json -check-baseline -out BENCH_pr.json
 	rm -f BENCH_raw.txt
+
+# Regenerate SLO_BASELINE.json when a PR intentionally moves capacity
+# or tail latency.
+load-baseline:
+	$(GO) build -o capsnet-serve-bin ./cmd/capsnet-serve
+	$(GO) run ./cmd/capsnet-load $(LOADFLAGS) -update-baseline -- -demo-classes 3
+	rm -f capsnet-serve-bin
+
+# Check a working tree against the committed SLO baseline; SLO_pr.json
+# is the CI artifact.
+slo-gate:
+	$(GO) build -o capsnet-serve-bin ./cmd/capsnet-serve
+	$(GO) run ./cmd/capsnet-load $(LOADFLAGS) -check-baseline -out SLO_pr.json -- -demo-classes 3
+	rm -f capsnet-serve-bin

@@ -20,10 +20,20 @@
 // the exactly merged cross-replica latency histogram plus a
 // per-replica health table (requests, batches, brownout level, aborted
 // batches, expired deadlines).
+//
+// The default firing mode is closed-loop — -c goroutines each wait for
+// a response before sending the next request — which is
+// coordinated-omission-prone: a server stall slows the client down
+// with it, so queueing delay never reaches the latency numbers. Pass
+// -open-loop to fire on a seeded arrival schedule via internal/loadgen
+// instead (latency then includes the wait from each request's
+// scheduled arrival); cmd/capsnet-load is the full capacity harness
+// built on the same generator.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,7 +50,9 @@ import (
 
 	"pimcapsnet/internal/dataset"
 	"pimcapsnet/internal/deadline"
+	"pimcapsnet/internal/loadgen"
 	"pimcapsnet/internal/serve"
+	"pimcapsnet/internal/workload"
 )
 
 func main() {
@@ -51,6 +63,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "synthetic image seed")
 	budget := flag.Duration("deadline", 0, "per-request end-to-end budget sent as the X-Deadline header (0 = none); expired requests come back 504")
 	fleet := flag.Bool("fleet", false, "with -target router: also scrape /metrics/fleet and print the merged fleet view with a per-replica health table")
+	openLoop := flag.Bool("open-loop", false, "fire on a seeded Poisson arrival schedule (coordinated-omission-safe) instead of the default closed-loop worker pool")
+	rate := flag.Float64("rate", 50, "with -open-loop: mean offered rate in req/s; the run lasts ~n/rate seconds")
 	flag.Parse()
 
 	if *target != "serve" && *target != "router" {
@@ -101,62 +115,11 @@ func main() {
 	}
 
 	// Fire the load.
-	var ok, rejected, expired atomic.Int64
-	var batchSum atomic.Int64
-	work := make(chan int, *n)
-	for i := 0; i < *n; i++ {
-		work <- i
+	if *openLoop {
+		fireOpenLoop(client, *addr, bodies, *rate, *seed, *budget)
+	} else {
+		fireClosedLoop(client, *addr, bodies, *concurrency, *budget)
 	}
-	close(work)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *concurrency; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				req, err := http.NewRequest(http.MethodPost, *addr+"/v1/classify", bytes.NewReader(bodies[i]))
-				if err != nil {
-					panic(err)
-				}
-				req.Header.Set("Content-Type", "application/json")
-				if *budget > 0 {
-					// The absolute deadline is stamped per attempt so
-					// queueing inside the client pool does not silently
-					// eat the budget before the request leaves.
-					deadline.Set(req.Header, time.Now().Add(*budget))
-				}
-				resp, err := client.Do(req)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
-					continue
-				}
-				var cr serve.ClassifyResponse
-				switch resp.StatusCode {
-				case http.StatusOK:
-					json.NewDecoder(resp.Body).Decode(&cr)
-					ok.Add(1)
-					batchSum.Add(int64(cr.Batch))
-				case http.StatusTooManyRequests:
-					io.Copy(io.Discard, resp.Body)
-					rejected.Add(1)
-				case http.StatusGatewayTimeout:
-					io.Copy(io.Discard, resp.Body)
-					expired.Add(1)
-				default:
-					io.Copy(io.Discard, resp.Body)
-				}
-				resp.Body.Close()
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	fmt.Printf("%d ok, %d rejected (429), %d expired (504) in %v — %.1f req/s, mean ridden batch %.2f\n",
-		ok.Load(), rejected.Load(), expired.Load(), elapsed.Round(time.Millisecond),
-		float64(ok.Load())/elapsed.Seconds(),
-		float64(batchSum.Load())/float64(max(ok.Load(), 1)))
 
 	// Show what the tier we hit measured: a single replica exposes the
 	// capsnet_* batching/stage histograms, the router tier its
@@ -195,6 +158,90 @@ func main() {
 		}
 	}
 	printStageBreakdown(string(text), *target)
+}
+
+// fireClosedLoop drives the default worker-pool load: c goroutines,
+// each waiting for a response before sending the next request.
+func fireClosedLoop(client *http.Client, addr string, bodies [][]byte, concurrency int, budget time.Duration) {
+	var ok, rejected, expired atomic.Int64
+	var batchSum atomic.Int64
+	n := len(bodies)
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req, err := http.NewRequest(http.MethodPost, addr+"/v1/classify", bytes.NewReader(bodies[i]))
+				if err != nil {
+					panic(err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if budget > 0 {
+					// The absolute deadline is stamped per attempt so
+					// queueing inside the client pool does not silently
+					// eat the budget before the request leaves.
+					deadline.Set(req.Header, time.Now().Add(budget))
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
+					continue
+				}
+				var cr serve.ClassifyResponse
+				switch resp.StatusCode {
+				case http.StatusOK:
+					json.NewDecoder(resp.Body).Decode(&cr)
+					ok.Add(1)
+					batchSum.Add(int64(cr.Batch))
+				case http.StatusTooManyRequests:
+					io.Copy(io.Discard, resp.Body)
+					rejected.Add(1)
+				case http.StatusGatewayTimeout:
+					io.Copy(io.Discard, resp.Body)
+					expired.Add(1)
+				default:
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d ok, %d rejected (429), %d expired (504) in %v — %.1f req/s, mean ridden batch %.2f\n",
+		ok.Load(), rejected.Load(), expired.Load(), elapsed.Round(time.Millisecond),
+		float64(ok.Load())/elapsed.Seconds(),
+		float64(batchSum.Load())/float64(max(ok.Load(), 1)))
+	fmt.Println("note: closed-loop measurement (coordinated-omission-prone) — the pool slows down with the server," +
+		" so queueing delay is hidden; rerun with -open-loop (or use cmd/capsnet-load) for schedule-anchored latency")
+}
+
+// fireOpenLoop replays a seeded constant-rate Poisson schedule through
+// internal/loadgen: arrivals fire on time regardless of in-flight
+// work, and each latency is measured from the request's scheduled
+// arrival, so server stalls show up as the queueing delay they cause.
+func fireOpenLoop(client *http.Client, addr string, bodies [][]byte, rate float64, seed int64, budget time.Duration) {
+	shape := workload.Shape{Kind: workload.ShapeConstant, Rate: rate}
+	schedule := shape.Schedule(float64(len(bodies))/rate, seed)
+	target := &loadgen.HTTPTarget{
+		Client: client,
+		URL:    addr + "/v1/classify",
+		Bodies: bodies,
+	}
+	if budget > 0 {
+		target.Decorate = func(r *http.Request) { deadline.Set(r.Header, time.Now().Add(budget)) }
+	}
+	res := loadgen.Run(context.Background(), target, loadgen.Options{Schedule: schedule})
+	fmt.Println("open-loop (coordinated-omission-safe, latency measured from scheduled arrival):")
+	fmt.Println("  " + res.String())
 }
 
 // printRouterSummary renders the router tier's view of the load: how

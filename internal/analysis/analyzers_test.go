@@ -20,8 +20,8 @@ func TestLayercheck(t *testing.T) {
 	t.Parallel()
 	analysistest.Run(t, analysis.Layercheck,
 		"internal/tensor", "internal/fp32", "internal/capsnet",
-		"internal/cluster", "internal/serve", "layerobs/internal/obs",
-		"cmd/alpha", "cmd/beta")
+		"internal/cluster", "internal/serve", "internal/loadgen",
+		"layerobs/internal/obs", "cmd/alpha", "cmd/beta")
 }
 
 func TestHotpathcheck(t *testing.T) {

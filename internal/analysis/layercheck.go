@@ -57,19 +57,25 @@ var layerRules = []layerRule{
 		Why:        "obs is imported by every tier, so beyond the trace-event writer it must stay standard-library-only; an edge to serve or cluster would invert the layer DAG",
 	},
 	{
+		Pkg:        "internal/loadgen",
+		StdlibOnly: true,
+		Allow:      []string{"internal/obs"},
+		Why:        "the load generator measures the serving stack from outside, so beyond the obs histograms it records into it must stay standard-library-only; an edge into the stack under test would let the harness share the very fate it exists to observe",
+	},
+	{
 		Pkg:    "internal/capsnet",
 		Forbid: []string{"internal/obs", "internal/serve", "internal/fault"},
 		Why:    "capsnet must not depend on the serving stack; observability reaches it through the StageTimer hook",
 	},
 	{
 		Pkg:    "internal/cluster",
-		Forbid: []string{"internal/capsnet", "internal/serve", "internal/tensor"},
-		Why:    "the replica tier is model-free: it moves opaque bytes between capsnet-serve processes and speaks only the serving HTTP protocol",
+		Forbid: []string{"internal/capsnet", "internal/serve", "internal/tensor", "internal/loadgen"},
+		Why:    "the replica tier is model-free and measured from outside: it moves opaque bytes between capsnet-serve processes, speaks only the serving HTTP protocol, and never imports the load harness that drives it",
 	},
 	{
 		Pkg:    "internal/serve",
-		Forbid: []string{"internal/cluster"},
-		Why:    "a replica must not know about the tier above it; the router observes replicas via /readyz, never the reverse",
+		Forbid: []string{"internal/cluster", "internal/loadgen"},
+		Why:    "a replica must not know about the tier above it nor the harness that measures it; the router observes replicas via /readyz, never the reverse",
 	},
 }
 

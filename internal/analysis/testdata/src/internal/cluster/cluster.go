@@ -5,5 +5,6 @@ package cluster
 
 import (
 	_ "internal/capsnet" // want `internal/cluster must not import internal/capsnet: the replica tier is model-free`
+	_ "internal/loadgen" // want `internal/cluster must not import internal/loadgen: the replica tier is model-free and measured from outside`
 	_ "internal/tensor"  // want `internal/cluster must not import internal/tensor: the replica tier is model-free`
 )

@@ -1,0 +1,11 @@
+// Package loadgen is the layercheck golden for the load-harness rule:
+// the open-loop generator measures the serving stack from outside, so
+// apart from the obs histograms it records into it is pinned to the
+// standard library.
+package loadgen
+
+import (
+	_ "internal/fault" // want `internal/loadgen must not import internal/fault: the load generator measures the serving stack from outside`
+	_ "internal/obs"   // the one allowed edge: latency lands in obs histograms
+	_ "sort"
+)

@@ -4,4 +4,5 @@ package serve
 
 import (
 	_ "internal/cluster" // want `internal/serve must not import internal/cluster: a replica must not know about the tier above it`
+	_ "internal/loadgen" // want `internal/serve must not import internal/loadgen: a replica must not know about the tier above it nor the harness that measures it`
 )

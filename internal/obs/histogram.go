@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, lock-free histogram over a
+// non-negative domain (latencies, sizes). Observations land in the
+// first bucket whose upper bound is ≥ the value; the final implicit
+// bucket is +Inf. Quantiles are estimated by linear interpolation
+// inside the containing bucket, which is exact enough for p50/p95/p99
+// dashboards on exponential bucket layouts. It lives in obs — the
+// stdlib-only layer every tier imports — so the serving stack and the
+// open-loop load generator (internal/loadgen) record into the same
+// bucket machinery and their distributions merge exactly.
+type Histogram struct {
+	bounds   []float64       // ascending upper bounds, excluding +Inf
+	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count    atomic.Uint64
+	sumMicro atomic.Uint64 // Σ value, in millionths of a unit
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must ascend")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. The histogram's domain is non-negative:
+// zero is a legal observation (it lands in the first bucket and adds
+// zero to the sum, so _sum stays consistent with _count·mean), and a
+// negative value — always an upstream bug for durations and sizes —
+// is clamped to zero rather than wrapping the uint64 sum around.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(uint64(v*1e6 + 0.5))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations (microsecond-granular).
+func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
+
+// Bounds returns the finite bucket upper bounds (shared backing
+// array; callers must not mutate it).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the per-bucket counts; the last
+// element is the implicit +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Overflow returns the number of observations that exceeded the
+// largest finite bucket bound (the +Inf bucket's count) — the
+// companion counter that makes Quantile's tail clipping visible.
+func (h *Histogram) Overflow() uint64 { return h.counts[len(h.bounds)].Load() }
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts. Ranks landing in the +Inf bucket cannot be interpolated —
+// there is no finite upper bound to interpolate toward — so they
+// report the largest finite bound; check Overflow to see how many
+// observations were clipped that way. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	maxBound := h.bounds[len(h.bounds)-1]
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 || cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			return maxBound // +Inf bucket: clip, don't interpolate
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/n
+	}
+	return maxBound
+}
+
+// WriteText emits the histogram in Prometheus-style text exposition
+// under the given metric name, including quantile, bucket, sum, count
+// and overflow lines. labels, when non-empty, is a pre-rendered label
+// pair list (e.g. `stage="conv"`) merged into every line.
+func (h *Histogram) WriteText(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n", name, labels, sep, fmt.Sprintf("%g", q), h.Quantile(q))
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+		fmt.Fprintf(w, "%s_overflow_total %d\n", name, h.Overflow())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+		fmt.Fprintf(w, "%s_overflow_total{%s} %d\n", name, labels, h.Overflow())
+	}
+}

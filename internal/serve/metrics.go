@@ -11,116 +11,17 @@ import (
 	"pimcapsnet/internal/obs"
 )
 
-// Histogram is a fixed-bucket, lock-free histogram over a
-// non-negative domain (latencies, sizes). Observations land in the
-// first bucket whose upper bound is ≥ the value; the final implicit
-// bucket is +Inf. Quantiles are estimated by linear interpolation
-// inside the containing bucket, which is exact enough for p50/p95/p99
-// dashboards on exponential bucket layouts.
-type Histogram struct {
-	bounds   []float64       // ascending upper bounds, excluding +Inf
-	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
-	count    atomic.Uint64
-	sumMicro atomic.Uint64 // Σ value, in millionths of a unit
-}
+// Histogram is the fixed-bucket, lock-free histogram from
+// internal/obs (where it moved so the stdlib-only open-loop load
+// generator records latencies into the same bucket machinery the
+// server exposes — client- and server-side distributions then merge
+// exactly). The alias keeps the serve API unchanged.
+type Histogram = obs.Histogram
 
 // NewHistogram creates a histogram with the given ascending upper
 // bounds.
 func NewHistogram(bounds ...float64) *Histogram {
-	if len(bounds) == 0 {
-		panic("serve: histogram needs at least one bucket bound")
-	}
-	if !sort.Float64sAreSorted(bounds) {
-		panic("serve: histogram bounds must ascend")
-	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-}
-
-// Observe records one value. The histogram's domain is non-negative:
-// zero is a legal observation (it lands in the first bucket and adds
-// zero to the sum, so _sum stays consistent with _count·mean), and a
-// negative value — always an upstream bug for durations and sizes —
-// is clamped to zero rather than wrapping the uint64 sum around.
-func (h *Histogram) Observe(v float64) {
-	if v < 0 {
-		v = 0
-	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumMicro.Add(uint64(v*1e6 + 0.5))
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Sum returns the sum of all observations (microsecond-granular).
-func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
-
-// Overflow returns the number of observations that exceeded the
-// largest finite bucket bound (the +Inf bucket's count) — the
-// companion counter that makes Quantile's tail clipping visible.
-func (h *Histogram) Overflow() uint64 { return h.counts[len(h.bounds)].Load() }
-
-// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
-// counts. Ranks landing in the +Inf bucket cannot be interpolated —
-// there is no finite upper bound to interpolate toward — so they
-// report the largest finite bound; check Overflow to see how many
-// observations were clipped that way. Returns 0 when empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	maxBound := h.bounds[len(h.bounds)-1]
-	rank := q * float64(total)
-	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
-		if n == 0 || cum+n < rank {
-			cum += n
-			continue
-		}
-		if i == len(h.bounds) {
-			return maxBound // +Inf bucket: clip, don't interpolate
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = h.bounds[i-1]
-		}
-		return lo + (h.bounds[i]-lo)*(rank-cum)/n
-	}
-	return maxBound
-}
-
-// writeText emits the histogram in Prometheus-style text exposition
-// under the given metric name, including quantile, bucket, sum, count
-// and overflow lines. labels, when non-empty, is a pre-rendered label
-// pair list (e.g. `stage="conv"`) merged into every line.
-func (h *Histogram) writeText(w io.Writer, name, labels string) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	for _, q := range []float64{0.5, 0.95, 0.99} {
-		fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n", name, labels, sep, fmt.Sprintf("%g", q), h.Quantile(q))
-	}
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
-	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
-		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
-		fmt.Fprintf(w, "%s_overflow_total %d\n", name, h.Overflow())
-	} else {
-		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
-		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
-		fmt.Fprintf(w, "%s_overflow_total{%s} %d\n", name, labels, h.Overflow())
-	}
+	return obs.NewHistogram(bounds...)
 }
 
 // Serving-pipeline stage names (the capsnet_stage_seconds label
@@ -430,10 +331,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	for _, g := range obs.RuntimeStats() {
 		fmt.Fprintf(w, "%s %g\n", g.Name, g.Value)
 	}
-	m.Latency.writeText(w, "capsnet_request_latency_seconds", "")
-	m.BatchSize.writeText(w, "capsnet_batch_size", "")
-	m.QueueWait.writeText(w, "capsnet_queue_wait_seconds", "")
-	m.RoutingIteration.writeText(w, "capsnet_routing_iteration_seconds", "")
+	m.Latency.WriteText(w, "capsnet_request_latency_seconds", "")
+	m.BatchSize.WriteText(w, "capsnet_batch_size", "")
+	m.QueueWait.WriteText(w, "capsnet_queue_wait_seconds", "")
+	m.RoutingIteration.WriteText(w, "capsnet_routing_iteration_seconds", "")
 
 	m.stagesMu.RLock()
 	stages := make([]string, 0, len(m.stages))
@@ -447,7 +348,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	m.stagesMu.RUnlock()
 	for i, s := range stages {
-		hists[i].writeText(w, "capsnet_stage_seconds", fmt.Sprintf("stage=%q", s))
+		hists[i].WriteText(w, "capsnet_stage_seconds", fmt.Sprintf("stage=%q", s))
 	}
 }
 

@@ -35,8 +35,8 @@ func TestHistogramObserveNegativeClamps(t *testing.T) {
 	if got := h.Sum(); got != 0 {
 		t.Fatalf("sum %g, want 0 after clamping", got)
 	}
-	if got := h.counts[0].Load(); got != 1 {
-		t.Fatalf("clamped value landed in bucket %v, want first", h.counts)
+	if got := h.BucketCounts()[0]; got != 1 {
+		t.Fatalf("clamped value landed in buckets %v, want first", h.BucketCounts())
 	}
 }
 
@@ -68,8 +68,8 @@ func TestHistogramAllOverflow(t *testing.T) {
 func TestHistogramExactBound(t *testing.T) {
 	h := NewHistogram(1, 2, 4)
 	h.Observe(2)
-	if got := h.counts[1].Load(); got != 1 {
-		t.Fatalf("Observe(2) landed in counts %v, want bucket le=2", &h.counts)
+	if got := h.BucketCounts()[1]; got != 1 {
+		t.Fatalf("Observe(2) landed in counts %v, want bucket le=2", h.BucketCounts())
 	}
 	if got := h.Overflow(); got != 0 {
 		t.Fatalf("exact-bound observation counted as overflow")
@@ -118,7 +118,7 @@ func TestHistogramGoldenExposition(t *testing.T) {
 	h.Observe(3) // overflow
 
 	var sb strings.Builder
-	h.writeText(&sb, "x_seconds", "")
+	h.WriteText(&sb, "x_seconds", "")
 	want := `x_seconds{quantile="0.5"} 0.5
 x_seconds{quantile="0.95"} 1
 x_seconds{quantile="0.99"} 1
@@ -134,7 +134,7 @@ x_seconds_overflow_total 1
 	}
 
 	sb.Reset()
-	h.writeText(&sb, "x_seconds", `stage="conv"`)
+	h.WriteText(&sb, "x_seconds", `stage="conv"`)
 	want = `x_seconds{stage="conv",quantile="0.5"} 0.5
 x_seconds{stage="conv",quantile="0.95"} 1
 x_seconds{stage="conv",quantile="0.99"} 1

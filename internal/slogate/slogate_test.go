@@ -1,0 +1,146 @@
+//pimcaps:bitexact
+
+package slogate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimcapsnet/internal/loadgen"
+)
+
+func baseReport() loadgen.Report {
+	return loadgen.Report{
+		Target: "serve", Shape: "constant", Seed: 42,
+		DurationSeconds: 5, ReferenceRate: 100, Offered: 500,
+		Availability: 0.999, P50: 0.01, P99: 0.05, P999: 0.08,
+		KneeRate: 400,
+	}
+}
+
+func TestCheckPassesUnchangedRun(t *testing.T) {
+	b := &Baseline{Report: baseReport()}
+	cur := baseReport()
+	rep := Check(b, &cur)
+	if !rep.OK() {
+		t.Fatalf("identical run failed the gate: %v", rep.Failures)
+	}
+	if len(rep.Lines) == 0 {
+		t.Fatal("no comparison lines emitted")
+	}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	b := &Baseline{Report: baseReport()}
+	cur := baseReport()
+	cur.Availability = 0.985 // −0.014, inside the 0.02 default
+	cur.P99 = 0.09           // 1.8×, inside 2×
+	cur.P999 = 0.19          // 2.4×, inside 2.5×
+	cur.KneeRate = 300       // −25%, inside 30%
+	if rep := Check(b, &cur); !rep.OK() {
+		t.Fatalf("in-tolerance run failed: %v", rep.Failures)
+	}
+}
+
+func TestCheckFailsEachAxis(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*loadgen.Report)
+		want   string
+	}{
+		{"availability", func(r *loadgen.Report) { r.Availability = 0.9 }, "availability"},
+		{"p99", func(r *loadgen.Report) { r.P99 = 0.2 }, "p99 regressed"},
+		{"p999", func(r *loadgen.Report) { r.P999 = 0.5 }, "p999 regressed"},
+		{"knee", func(r *loadgen.Report) { r.KneeRate = 100 }, "knee fell"},
+		{"lateness", func(r *loadgen.Report) { r.MaxLateness = 0.5 }, "behind its own schedule"},
+		{"shape mismatch", func(r *loadgen.Report) { r.Shape = "bursty" }, "baseline pins"},
+		{"rate mismatch", func(r *loadgen.Report) { r.ReferenceRate = 250 }, "same operating point"},
+	}
+	for _, c := range cases {
+		b := &Baseline{Report: baseReport()}
+		cur := baseReport()
+		c.mutate(&cur)
+		rep := Check(b, &cur)
+		if rep.OK() {
+			t.Errorf("%s: regression passed the gate", c.name)
+			continue
+		}
+		found := false
+		for _, f := range rep.Failures {
+			if strings.Contains(f, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: failures %v mention nothing like %q", c.name, rep.Failures, c.want)
+		}
+	}
+}
+
+// TestCheckLatencyFloor: a fast server may double its p99 and still
+// pass while under the absolute floor — ratio noise on shared
+// runners must not gate.
+func TestCheckLatencyFloor(t *testing.T) {
+	b := &Baseline{Report: baseReport()}
+	b.Report.P99 = 0.002
+	b.Report.P999 = 0.004
+	cur := baseReport()
+	cur.P99 = 0.02  // 10× but under the 25ms floor
+	cur.P999 = 0.02 // 5× but under the floor
+	if rep := Check(b, &cur); !rep.OK() {
+		t.Fatalf("sub-floor latency jitter failed the gate: %v", rep.Failures)
+	}
+}
+
+// TestCheckCustomTolerances: tolerances committed in the baseline
+// override the defaults.
+func TestCheckCustomTolerances(t *testing.T) {
+	b := &Baseline{
+		Report:     baseReport(),
+		Tolerances: Tolerances{MaxP99Factor: 10},
+	}
+	cur := baseReport()
+	cur.P99 = 0.4 // 8×: fails default 2×, passes committed 10×
+	if rep := Check(b, &cur); !rep.OK() {
+		t.Fatalf("run within committed tolerances failed: %v", rep.Failures)
+	}
+}
+
+// TestCheckNoKneeInBaseline: a baseline without a sweep gates only
+// on the reference-rate SLOs.
+func TestCheckNoKneeInBaseline(t *testing.T) {
+	b := &Baseline{Report: baseReport()}
+	b.Report.KneeRate = 0
+	cur := baseReport()
+	cur.KneeRate = 0
+	if rep := Check(b, &cur); !rep.OK() {
+		t.Fatalf("kneeless baseline failed: %v", rep.Failures)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "SLO_BASELINE.json")
+	want := &Baseline{Report: baseReport(), Tolerances: Tolerances{MaxKneeDrop: 0.5}}
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.ReferenceRate != want.Report.ReferenceRate ||
+		got.Tolerances.MaxKneeDrop != want.Tolerances.MaxKneeDrop {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := Save(empty, &Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("Load accepted a baseline with no run")
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file generates open-loop arrival schedules: the request
+// timestamps a load generator fires on regardless of how many
+// requests are still in flight. The shapes model a production day
+// compressed into a test window — a flat floor, a diurnal swing, an
+// on/off burst cycle, and a synchronized-spike adversary — with one
+// shared contract: every shape's time-averaged rate equals Rate, so
+// sweeping "offered rate" means the same thing under every shape.
+
+// ShapeKind selects an arrival-rate profile.
+type ShapeKind int
+
+const (
+	// ShapeConstant is a homogeneous Poisson stream at Rate.
+	ShapeConstant ShapeKind = iota
+	// ShapeDiurnal modulates Rate sinusoidally with the given Period
+	// and Amplitude — a day of traffic compressed into Period seconds.
+	ShapeDiurnal
+	// ShapeBursty alternates an on-burst window (Rate·BurstFactor for
+	// BurstFraction of each Period) with a quiet floor chosen so the
+	// mean stays at Rate.
+	ShapeBursty
+	// ShapeAdversarial concentrates each period's entire arrival mass
+	// into one synchronized spike at the period boundary — the worst
+	// case for queueing, e.g. fleet-wide retry storms or cron-aligned
+	// clients.
+	ShapeAdversarial
+)
+
+// String implements fmt.Stringer.
+func (k ShapeKind) String() string {
+	switch k {
+	case ShapeConstant:
+		return "constant"
+	case ShapeDiurnal:
+		return "diurnal"
+	case ShapeBursty:
+		return "bursty"
+	case ShapeAdversarial:
+		return "adversarial"
+	}
+	return fmt.Sprintf("ShapeKind(%d)", int(k))
+}
+
+// ShapeByName parses a shape name as used on command lines.
+func ShapeByName(name string) (ShapeKind, error) {
+	for _, k := range []ShapeKind{ShapeConstant, ShapeDiurnal, ShapeBursty, ShapeAdversarial} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown shape %q (want constant|diurnal|bursty|adversarial)", name)
+}
+
+// Shape is a traffic profile: a mean offered rate plus the parameters
+// of its time structure.
+type Shape struct {
+	Kind ShapeKind
+	// Rate is the time-averaged offered rate in requests/second for
+	// every Kind.
+	Rate float64
+	// Period is the cycle length in seconds (diurnal day, burst cycle,
+	// adversarial spike interval). Ignored by ShapeConstant.
+	Period float64
+	// Amplitude is the diurnal swing as a fraction of Rate in [0, 1]:
+	// the instantaneous rate travels Rate·(1±Amplitude).
+	Amplitude float64
+	// BurstFactor is the on-burst rate multiple (> 1) for ShapeBursty.
+	BurstFactor float64
+	// BurstFraction is the fraction of each period spent bursting, in
+	// (0, 1); BurstFactor·BurstFraction must stay ≤ 1 so the off-burst
+	// floor Rate·(1−BurstFactor·BurstFraction)/(1−BurstFraction)
+	// remains non-negative.
+	BurstFraction float64
+}
+
+// NewShape returns a shape of the given kind and mean rate with the
+// default time structure: a 10-second "compressed day" period, ±80%
+// diurnal swing, and 8× bursts for 10% of each cycle.
+func NewShape(kind ShapeKind, rate float64) Shape {
+	return Shape{
+		Kind: kind, Rate: rate,
+		Period: 10, Amplitude: 0.8,
+		BurstFactor: 8, BurstFraction: 0.1,
+	}
+}
+
+// Validate reports whether the shape's parameters are coherent.
+func (s Shape) Validate() error {
+	if !(s.Rate > 0) {
+		return fmt.Errorf("workload: shape rate %g must be positive", s.Rate)
+	}
+	if s.Kind != ShapeConstant && !(s.Period > 0) {
+		return fmt.Errorf("workload: %s shape needs a positive period, got %g", s.Kind, s.Period)
+	}
+	switch s.Kind {
+	case ShapeDiurnal:
+		if s.Amplitude < 0 || s.Amplitude > 1 {
+			return fmt.Errorf("workload: diurnal amplitude %g outside [0, 1]", s.Amplitude)
+		}
+	case ShapeBursty:
+		if !(s.BurstFactor > 1) {
+			return fmt.Errorf("workload: burst factor %g must exceed 1", s.BurstFactor)
+		}
+		if !(s.BurstFraction > 0) || !(s.BurstFraction < 1) {
+			return fmt.Errorf("workload: burst fraction %g outside (0, 1)", s.BurstFraction)
+		}
+		if s.BurstFactor*s.BurstFraction > 1 {
+			return fmt.Errorf("workload: burst factor %g × fraction %g exceeds 1: the off-burst floor would be negative",
+				s.BurstFactor, s.BurstFraction)
+		}
+	case ShapeConstant, ShapeAdversarial:
+	default:
+		return fmt.Errorf("workload: unknown shape kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// RateAt returns the instantaneous arrival rate at time t seconds
+// into the run. For ShapeAdversarial the instantaneous rate is a
+// spike train with no finite pointwise value, so RateAt reports the
+// mean Rate; use Schedule for its actual arrival pattern.
+func (s Shape) RateAt(t float64) float64 {
+	switch s.Kind {
+	case ShapeDiurnal:
+		return s.Rate * (1 + s.Amplitude*math.Sin(2*math.Pi*t/s.Period))
+	case ShapeBursty:
+		if s.phase(t) < s.BurstFraction {
+			return s.Rate * s.BurstFactor
+		}
+		return s.burstFloor()
+	default:
+		return s.Rate
+	}
+}
+
+// burstFloor returns the off-burst rate that preserves the mean:
+// Rate·(1−BurstFactor·BurstFraction)/(1−BurstFraction).
+func (s Shape) burstFloor() float64 {
+	return s.Rate * (1 - s.BurstFactor*s.BurstFraction) / (1 - s.BurstFraction)
+}
+
+// phase returns t's position within the current period in [0, 1).
+func (s Shape) phase(t float64) float64 {
+	p := math.Mod(t/s.Period, 1)
+	if p < 0 {
+		p += 1
+	}
+	return p
+}
+
+// MaxRate returns the peak instantaneous rate — the thinning envelope
+// for schedule generation.
+func (s Shape) MaxRate() float64 {
+	switch s.Kind {
+	case ShapeDiurnal:
+		return s.Rate * (1 + s.Amplitude)
+	case ShapeBursty:
+		return s.Rate * s.BurstFactor
+	default:
+		return s.Rate
+	}
+}
+
+// ExpectedArrivals returns the analytic expected arrival count over
+// [0, duration): the integral of the rate function (exact count for
+// the deterministic adversarial spike train).
+func (s Shape) ExpectedArrivals(duration float64) float64 {
+	switch s.Kind {
+	case ShapeDiurnal:
+		// ∫ Rate·(1 + A·sin(2πt/P)) dt
+		w := 2 * math.Pi / s.Period
+		return s.Rate*duration + s.Rate*s.Amplitude*(1-math.Cos(w*duration))/w
+	case ShapeBursty:
+		full := math.Floor(duration / s.Period)
+		rem := duration - full*s.Period
+		burst := math.Min(rem, s.BurstFraction*s.Period)
+		quiet := rem - burst
+		return s.Rate*s.BurstFactor*(full*s.BurstFraction*s.Period+burst) +
+			s.burstFloor()*(full*(1-s.BurstFraction)*s.Period+quiet)
+	case ShapeAdversarial:
+		spikes := math.Ceil(duration / s.Period)
+		return spikes * math.Round(s.Rate*s.Period)
+	default:
+		return s.Rate * duration
+	}
+}
+
+// adversarialJitter bounds the seeded sub-spike jitter that breaks
+// exact timestamp ties inside one synchronized spike: 1ms, or 1/1000
+// of the period if that is smaller.
+func (s Shape) adversarialJitter() float64 {
+	return math.Min(1e-3, s.Period/1000)
+}
+
+// Schedule generates the arrival offsets (seconds, ascending, within
+// [0, duration)) for the shape, deterministically from the seed. The
+// stochastic shapes draw a non-homogeneous Poisson process by
+// Lewis–Shedler thinning against the MaxRate envelope; the
+// adversarial shape is a deterministic spike train with seeded
+// sub-millisecond jitter so same-seed runs replay identical schedules
+// bit for bit.
+func (s Shape) Schedule(duration float64, seed int64) []float64 {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if !(duration > 0) {
+		panic(fmt.Sprintf("workload: schedule duration %g must be positive", duration))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if s.Kind == ShapeAdversarial {
+		spike := int(math.Round(s.Rate * s.Period))
+		jitter := s.adversarialJitter()
+		var out []float64
+		for t0 := 0.0; t0 < duration; t0 += s.Period {
+			for i := 0; i < spike; i++ {
+				t := t0 + rng.Float64()*jitter
+				if t < duration {
+					out = append(out, t)
+				}
+			}
+		}
+		sort.Float64s(out)
+		return out
+	}
+	env := s.MaxRate()
+	out := make([]float64, 0, int(s.Rate*duration)+16)
+	for t := rng.ExpFloat64() / env; t < duration; t += rng.ExpFloat64() / env {
+		if rng.Float64()*env <= s.RateAt(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"pimcapsnet/internal/des"
+	"pimcapsnet/internal/workload"
+)
+
+// TestScheduleDESCrossCheck replays generated schedules through the
+// discrete-event engine and checks the offered rate the simulator
+// observes against the shape's analytic rate function: every arrival
+// fires as a DES event, windowed event counts must track the integral
+// of RateAt over each window, and the engine must fire exactly one
+// event per scheduled arrival. This pins the two halves of the
+// capacity harness — schedule generation and event-driven replay — to
+// the same analytic ground truth.
+func TestScheduleDESCrossCheck(t *testing.T) {
+	const rate, duration, window = 400.0, 20.0, 2.0
+	kinds := []workload.ShapeKind{workload.ShapeConstant, workload.ShapeDiurnal, workload.ShapeBursty}
+	for _, kind := range kinds {
+		s := workload.NewShape(kind, rate)
+		s.Period = window // one window per cycle, so windows are analytically identical
+		sched := s.Schedule(duration, 21)
+
+		eng := des.New()
+		counts := make([]float64, int(duration/window))
+		for _, a := range sched {
+			eng.At(a, func() {
+				w := int(eng.Now() / window)
+				if w >= len(counts) {
+					w = len(counts) - 1
+				}
+				counts[w]++
+			})
+		}
+		end := eng.Run()
+		if eng.Fired() != uint64(len(sched)) {
+			t.Fatalf("%s: engine fired %d events for %d scheduled arrivals", kind, eng.Fired(), len(sched))
+		}
+		if end >= duration {
+			t.Fatalf("%s: simulation ended at %g, beyond the %g horizon", kind, end, duration)
+		}
+
+		// Each window covers exactly one period, so the analytic count
+		// per window is ExpectedArrivals over one period.
+		want := s.ExpectedArrivals(window)
+		for i, n := range counts {
+			tol := 5 * math.Sqrt(want)
+			if math.Abs(n-want) > tol {
+				t.Errorf("%s: window %d saw %g arrivals, analytic %g (tolerance %g)", kind, i, n, want, tol)
+			}
+		}
+
+		// And the whole-run offered rate matches the shape's mean rate.
+		offered := float64(len(sched)) / duration
+		if math.Abs(offered-rate) > 0.05*rate {
+			t.Errorf("%s: offered rate %.1f req/s, want %.1f ±5%%", kind, offered, rate)
+		}
+	}
+}

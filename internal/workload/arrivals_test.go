@@ -1,0 +1,206 @@
+//pimcaps:bitexact
+
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// allShapes returns one configured shape per kind at the given rate,
+// with a short period so multi-period invariants are cheap to check.
+func allShapes(rate float64) []Shape {
+	kinds := []ShapeKind{ShapeConstant, ShapeDiurnal, ShapeBursty, ShapeAdversarial}
+	out := make([]Shape, len(kinds))
+	for i, k := range kinds {
+		s := NewShape(k, rate)
+		s.Period = 2
+		out[i] = s
+	}
+	return out
+}
+
+// TestScheduleDeterminism: arrival schedules are a pure function of
+// (shape, duration, seed) — the whole point of replayable load — and
+// different seeds give different draws for the stochastic shapes.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, s := range allShapes(200) {
+		a := s.Schedule(10, 42)
+		b := s.Schedule(10, 42)
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different lengths %d vs %d", s.Kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverges at arrival %d: %g vs %g", s.Kind, i, a[i], b[i])
+			}
+		}
+		c := s.Schedule(10, 43)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 42 and 43 produced identical schedules", s.Kind)
+		}
+	}
+}
+
+// TestScheduleSortedInRange: every schedule ascends and stays inside
+// [0, duration).
+func TestScheduleSortedInRange(t *testing.T) {
+	const duration = 7.3
+	for _, s := range allShapes(150) {
+		sched := s.Schedule(duration, 7)
+		if !sort.Float64sAreSorted(sched) {
+			t.Fatalf("%s: schedule not sorted", s.Kind)
+		}
+		if len(sched) == 0 {
+			t.Fatalf("%s: empty schedule at rate 150 over %gs", s.Kind, duration)
+		}
+		if sched[0] < 0 || sched[len(sched)-1] >= duration {
+			t.Fatalf("%s: arrivals [%g, %g] escape [0, %g)", s.Kind, sched[0], sched[len(sched)-1], duration)
+		}
+	}
+}
+
+// TestScheduleOfferedRate: the realized arrival count matches the
+// analytic expectation within statistical tolerance (Poisson σ=√n, so
+// 5σ on ~10k arrivals is a ~5% band that keeps flakes negligible).
+func TestScheduleOfferedRate(t *testing.T) {
+	const rate, duration = 500.0, 20.0
+	for _, s := range allShapes(rate) {
+		sched := s.Schedule(duration, 11)
+		want := s.ExpectedArrivals(duration)
+		got := float64(len(sched))
+		tol := 5 * math.Sqrt(want)
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: %g arrivals, analytic expectation %g (tolerance %g)", s.Kind, got, want, tol)
+		}
+	}
+}
+
+// TestDiurnalPeriodInvariant: the diurnal swing shows up where the
+// period says it should — the rising half of each cycle (sin > 0)
+// must hold more arrivals than the falling half, and per-period
+// totals must repeat across periods.
+func TestDiurnalPeriodInvariant(t *testing.T) {
+	s := NewShape(ShapeDiurnal, 400)
+	s.Period = 4
+	s.Amplitude = 0.8
+	const periods = 8
+	duration := s.Period * periods
+	sched := s.Schedule(duration, 3)
+
+	var high, low float64
+	perPeriod := make([]float64, periods)
+	for _, a := range sched {
+		if s.phase(a) < 0.5 {
+			high++
+		} else {
+			low++
+		}
+		perPeriod[int(a/s.Period)]++
+	}
+	// Analytic halves: Rate·P/2 · (1 ± 2A/π).
+	ratio := high / low
+	wantRatio := (1 + 2*s.Amplitude/math.Pi) / (1 - 2*s.Amplitude/math.Pi)
+	if math.Abs(ratio-wantRatio) > 0.35*wantRatio {
+		t.Errorf("peak/trough half ratio %.2f, analytic %.2f", ratio, wantRatio)
+	}
+	mean := float64(len(sched)) / periods
+	for i, n := range perPeriod {
+		if math.Abs(n-mean) > 6*math.Sqrt(mean) {
+			t.Errorf("period %d holds %g arrivals, mean %g — periodicity broken", i, n, mean)
+		}
+	}
+}
+
+// TestBurstAmplitudeInvariant: the burst windows carry their share of
+// the arrivals at the configured amplitude — the fraction of arrivals
+// inside the burst (phase < BurstFraction) equals BurstFactor·BurstFraction.
+func TestBurstAmplitudeInvariant(t *testing.T) {
+	s := NewShape(ShapeBursty, 400)
+	s.Period = 2
+	s.BurstFactor = 8
+	s.BurstFraction = 0.1
+	sched := s.Schedule(20, 5)
+
+	var inBurst float64
+	for _, a := range sched {
+		if s.phase(a) < s.BurstFraction {
+			inBurst++
+		}
+	}
+	gotShare := inBurst / float64(len(sched))
+	wantShare := s.BurstFactor * s.BurstFraction
+	if math.Abs(gotShare-wantShare) > 0.1 {
+		t.Errorf("burst windows hold %.1f%% of arrivals, want %.1f%%", 100*gotShare, 100*wantShare)
+	}
+}
+
+// TestAdversarialSpikes: the adversarial schedule is exactly
+// Rate·Period arrivals per spike, every arrival within the jitter
+// window of its period boundary.
+func TestAdversarialSpikes(t *testing.T) {
+	s := NewShape(ShapeAdversarial, 300)
+	s.Period = 2
+	const duration = 10.0
+	sched := s.Schedule(duration, 9)
+
+	spike := int(math.Round(s.Rate * s.Period))
+	wantN := spike * int(math.Ceil(duration/s.Period))
+	if len(sched) != wantN {
+		t.Fatalf("%d arrivals, want exactly %d (%d spikes × %d)", len(sched), wantN, wantN/spike, spike)
+	}
+	jitter := s.adversarialJitter()
+	for _, a := range sched {
+		off := math.Mod(a, s.Period)
+		if off > jitter {
+			t.Fatalf("arrival %g sits %.4gs past its period boundary, jitter window is %.4gs", a, off, jitter)
+		}
+	}
+}
+
+// TestShapeValidate covers the rejection paths.
+func TestShapeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Shape
+	}{
+		{"zero rate", Shape{Kind: ShapeConstant}},
+		{"no period", Shape{Kind: ShapeDiurnal, Rate: 10, Amplitude: 0.5}},
+		{"amplitude above 1", Shape{Kind: ShapeDiurnal, Rate: 10, Period: 5, Amplitude: 1.5}},
+		{"burst factor below 1", Shape{Kind: ShapeBursty, Rate: 10, Period: 5, BurstFactor: 0.5, BurstFraction: 0.1}},
+		{"burst mass above mean", Shape{Kind: ShapeBursty, Rate: 10, Period: 5, BurstFactor: 20, BurstFraction: 0.5}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.s)
+		}
+	}
+	for _, s := range allShapes(10) {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: Validate rejected the default shape: %v", s.Kind, err)
+		}
+	}
+}
+
+// TestShapeByName round-trips every kind and rejects junk.
+func TestShapeByName(t *testing.T) {
+	for _, k := range []ShapeKind{ShapeConstant, ShapeDiurnal, ShapeBursty, ShapeAdversarial} {
+		got, err := ShapeByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("ShapeByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ShapeByName("sawtooth"); err == nil {
+		t.Error("ShapeByName accepted an unknown shape")
+	}
+}
