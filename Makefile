@@ -34,7 +34,7 @@ vet:
 # project's own invariant suite (cmd/pimcaps-vet; see DESIGN.md for
 # the invariant table and the //lint:ignore suppression syntax).
 lint: vet
-	$(GO) run ./cmd/pimcaps-vet ./...
+	$(GO) run ./cmd/pimcaps-vet -stats ./...
 
 bench:
 	$(BENCHES)

@@ -5,12 +5,17 @@
 // architecture depends on: scratch-arena Outputs are always released,
 // the import DAG stays layered, annotated hot-path functions stay
 // allocation-free, floats are never ==-compared outside bit-exact
-// contexts, and the worker pool keeps its panic-isolation wrapper.
+// contexts, the worker pool keeps its panic-isolation wrapper, panics
+// carry typed values, contexts flow instead of being re-rooted,
+// //pimcaps:guardedby fields are only touched with their mutex held,
+// every goroutine in the long-lived concurrency packages has a bounded
+// lifetime, and timers always reach Stop.
 //
 // Usage:
 //
 //	pimcaps-vet [-json] [packages]          # default packages: ./...
 //	pimcaps-vet -analyzers a,b [packages]   # run a subset of the suite
+//	pimcaps-vet -stats [packages]           # also print per-analyzer wall time
 //	pimcaps-vet -list                       # list the suite
 //	... | pimcaps-vet -annotate             # JSON findings -> GitHub annotations
 //
@@ -36,6 +41,7 @@ func main() {
 		annotate  = flag.Bool("annotate", false, "read JSON findings from stdin and emit GitHub Actions error annotations")
 		listSuite = flag.Bool("list", false, "list the analyzers in the suite and exit")
 		only      = flag.String("analyzers", "", "comma-separated analyzer names to run (default: the full suite)")
+		stats     = flag.Bool("stats", false, "print per-analyzer wall time to stderr after the run")
 	)
 	flag.Parse()
 
@@ -69,10 +75,20 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := analysis.RunPatterns("", suite, patterns...)
+	var timing *analysis.Stats
+	if *stats {
+		timing = &analysis.Stats{}
+	}
+	findings, err := analysis.RunPatternsStats("", suite, timing, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimcaps-vet:", err)
 		os.Exit(2)
+	}
+	if timing != nil {
+		fmt.Fprintln(os.Stderr, "pimcaps-vet: per-analyzer wall time:")
+		for _, line := range timing.Lines() {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -44,3 +44,20 @@ func TestCtxcheck(t *testing.T) {
 	analysistest.Run(t, analysis.Ctxcheck,
 		"ctxcheck/internal/serve", "ctxcheck/internal/cluster", "ctxcheck/internal/other")
 }
+
+func TestGuardedby(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Guardedby, "guardedby")
+}
+
+func TestGoroleak(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Goroleak,
+		"goroleak/internal/cluster", "goroleak/internal/other")
+}
+
+func TestTimerleak(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysis.Timerleak,
+		"timerleak", "timerleak/internal/serve")
+}

@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // A Finding is one diagnostic resolved to a file position, the form
@@ -24,6 +26,47 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s%s)", f.File, f.Line, f.Col, f.Message, IgnorePrefix, f.Analyzer)
 }
 
+// Stats accumulates per-analyzer wall time across every package a run
+// visits, so `pimcaps-vet -stats` (and make lint) can report which
+// invariants the suite spends its time proving. Safe for concurrent
+// use.
+type Stats struct {
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	elapsed map[string]time.Duration
+}
+
+func (s *Stats) add(name string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.elapsed == nil {
+		s.elapsed = map[string]time.Duration{}
+	}
+	s.elapsed[name] += d
+}
+
+// Lines renders one "name\tduration" line per analyzer, slowest
+// first (ties break alphabetically for stable output).
+func (s *Stats) Lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.elapsed))
+	for name := range s.elapsed {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.elapsed[names[i]] != s.elapsed[names[j]] {
+			return s.elapsed[names[i]] > s.elapsed[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	lines := make([]string, len(names))
+	for i, name := range names {
+		lines[i] = fmt.Sprintf("%-14s %v", name, s.elapsed[name].Round(time.Microsecond))
+	}
+	return lines
+}
+
 // RunPatterns loads the packages matched by the go list patterns
 // (e.g. "./..." or "pimcapsnet/..."), runs every analyzer over each —
 // including in-package and external test files, exactly as go vet does
@@ -31,6 +74,13 @@ func (f Finding) String() string {
 // sorted by position. dir is the working directory for go tool
 // invocations ("" for the current one).
 func RunPatterns(dir string, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	return RunPatternsStats(dir, analyzers, nil, patterns...)
+}
+
+// RunPatternsStats is RunPatterns with optional per-analyzer timing:
+// when stats is non-nil, each analyzer's wall time accumulates into it
+// across all visited packages.
+func RunPatternsStats(dir string, analyzers []*Analyzer, stats *Stats, patterns ...string) ([]Finding, error) {
 	listArgs := append([]string{
 		"-test", "-deps", "-export",
 		"-json=ImportPath,Dir,Export,DepOnly,Standard,ForTest,Module,GoFiles,TestGoFiles,XTestGoFiles,Error",
@@ -114,7 +164,7 @@ func RunPatterns(dir string, analyzers []*Analyzer, patterns ...string) ([]Findi
 			for _, f := range tests {
 				pkg.TestFiles[f] = true
 			}
-			diags, err := RunAnalyzers(pkg, fset, analyzers, isProject)
+			diags, err := runAnalyzers(pkg, fset, analyzers, isProject, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -177,6 +227,10 @@ func relPath(pkgDir, modPath, importPath, filename string) string {
 // shared by RunPatterns and the analysistest harness so the
 // suppression path behaves identically in production and in tests.
 func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, isProject func(string) bool) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, fset, analyzers, isProject, nil)
+}
+
+func runAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, isProject func(string) bool, stats *Stats) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -188,7 +242,12 @@ func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, isPr
 			IsProjectPkg: isProject,
 			testFiles:    pkg.TestFiles,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if stats != nil {
+			stats.add(a.Name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
 		diags = append(diags, pass.diagnostics...)

@@ -1,0 +1,455 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Guardedby turns the tree's "mu guards these fields" comments into a
+// checked contract. A struct field annotated
+//
+//	mu sync.Mutex
+//	//pimcaps:guardedby mu
+//	ring []Record
+//
+// may only be read while mu (a sync.Mutex or sync.RWMutex field of the
+// same struct) is held on every path to the access, and only be
+// written under the full write lock. Helpers whose name ends in
+// "Locked" are exempt — their name is the contract that the caller
+// holds the lock — as are accesses through function-local variables
+// (a freshly constructed value is not shared yet; a local alias that
+// locks through itself is tracked under its own name).
+//
+// Lock state is computed structurally, in the releasecheck tradition
+// of flow-light path analysis: sequential statements propagate
+// Lock/RLock/Unlock effects, every branch (if/for/switch/select)
+// analyzes with a copy of the entry state and its changes do not
+// escape the branch — so "held on all paths" degrades conservatively
+// to "held on the straight-line path dominating the access". Deferred
+// unlocks leave the current state held, matching the lock();
+// defer unlock() idiom. Inline function literals inherit the state
+// (sort.Slice callbacks run under the caller's lock); literals spawned
+// by go or defer start cold.
+//
+// Test files are exempt; deliberate lock-free accesses (an atomic
+// publish, a happens-before edge through a channel) carry
+// //lint:ignore pimcaps/guardedby with the justification.
+var Guardedby = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //pimcaps:guardedby mu are only accessed with that mutex held (full lock for writes); *Locked helpers are exempt",
+	Run:  runGuardedby,
+}
+
+const guardedbyDirective = "//pimcaps:guardedby"
+
+func runGuardedby(pass *Pass) error {
+	guards := map[types.Object]string{} // annotated field -> sibling mutex field name
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if ok && st.Fields != nil {
+				collectGuards(pass, st, guards)
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // the name is the contract: caller holds the lock
+			}
+			w := &lockWalker{pass: pass, guards: guards, outer: map[types.Object]bool{}}
+			w.addParams(fn.Recv)
+			w.addParams(fn.Type.Params)
+			w.block(fn.Body.List, map[string]byte{})
+		}
+	}
+	return nil
+}
+
+// collectGuards records every //pimcaps:guardedby annotation in one
+// struct type, validating that the named mutex is a sibling
+// sync.Mutex/RWMutex field.
+func collectGuards(pass *Pass, st *ast.StructType, guards map[types.Object]string) {
+	for _, field := range st.Fields.List {
+		mu := guardAnnotation(field)
+		if mu == "" {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "%s cannot annotate an embedded field; name the field it guards", guardedbyDirective)
+			continue
+		}
+		if !structHasMutex(pass, st, mu) {
+			pass.Reportf(field.Pos(), "%s %s: the struct has no sync.Mutex or sync.RWMutex field named %q", guardedbyDirective, mu, mu)
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				guards[obj] = mu
+			}
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or
+// trailing comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), guardedbyDirective); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+// structHasMutex reports whether st declares a field named mu of type
+// sync.Mutex or sync.RWMutex.
+func structHasMutex(pass *Pass, st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name == mu {
+				return isSyncMutex(pass.TypesInfo.TypeOf(field.Type))
+			}
+		}
+	}
+	return false
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex
+// (pointers included).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockWalker carries the per-function state of the guardedby check.
+// Lock state maps a rendered mutex path ("f.mu", "m.rep.mu") to 'w'
+// (Lock held) or 'r' (RLock held).
+type lockWalker struct {
+	pass   *Pass
+	guards map[types.Object]string
+	// outer marks receiver and parameter objects: accesses through
+	// them are shared-state accesses and get checked; accesses through
+	// other (function-local) variables are exempt.
+	outer map[types.Object]bool
+}
+
+func (w *lockWalker) addParams(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if obj := w.pass.TypesInfo.Defs[name]; obj != nil {
+				w.outer[obj] = true
+			}
+		}
+	}
+}
+
+func copyState(state map[string]byte) map[string]byte {
+	c := make(map[string]byte, len(state))
+	for k, v := range state {
+		c[k] = v
+	}
+	return c
+}
+
+// block walks a statement list sequentially: lock/unlock calls mutate
+// state for the statements that follow; branches run on copies.
+func (w *lockWalker) block(stmts []ast.Stmt, state map[string]byte) {
+	for _, s := range stmts {
+		w.stmt(s, state)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, state map[string]byte) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if key, mode, ok := w.lockCall(s.X); ok {
+			if mode == 0 {
+				delete(state, key)
+			} else {
+				state[key] = mode
+			}
+			return
+		}
+		w.expr(s.X, false, state)
+	case *ast.DeferStmt:
+		// A deferred unlock fires at return; the lock stays held for
+		// the statements that follow. A deferred literal runs after
+		// the function's own unlocks may have fired: analyze it cold.
+		if _, _, ok := w.lockCall(s.Call); ok {
+			return
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.block(lit.Body.List, map[string]byte{})
+		} else {
+			w.expr(s.Call.Fun, false, state)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, false, state)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently: its body starts
+		// with no locks held regardless of the spawner's state.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.block(lit.Body.List, map[string]byte{})
+		} else {
+			w.expr(s.Call.Fun, false, state)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, false, state)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, false, state)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, true, state)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, true, state)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, false, state)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, false, state)
+		w.expr(s.Value, false, state)
+	case *ast.IfStmt:
+		st := copyState(state)
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, false, st)
+		w.block(s.Body.List, copyState(st))
+		w.stmt(s.Else, copyState(st))
+	case *ast.ForStmt:
+		st := copyState(state)
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, false, st)
+		w.block(s.Body.List, copyState(st))
+		w.stmt(s.Post, copyState(st))
+	case *ast.RangeStmt:
+		w.expr(s.X, false, state)
+		w.block(s.Body.List, copyState(state))
+	case *ast.SwitchStmt:
+		st := copyState(state)
+		w.stmt(s.Init, st)
+		w.expr(s.Tag, false, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, false, st)
+				}
+				w.block(cc.Body, copyState(st))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		st := copyState(state)
+		w.stmt(s.Init, st)
+		w.stmt(s.Assign, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, copyState(st))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				st := copyState(state)
+				w.stmt(cc.Comm, st)
+				w.block(cc.Body, st)
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, state)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, state)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, false, state)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockCall matches `<path>.<mu>.Lock/RLock/Unlock/RUnlock()` on a sync
+// mutex, returning the rendered mutex path and the resulting mode
+// ('w', 'r', or 0 for release).
+func (w *lockWalker) lockCall(e ast.Expr) (key string, mode byte, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !isSyncMutex(w.pass.TypesInfo.TypeOf(sel.X)) {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		mode = 'w'
+	case "RLock":
+		mode = 'r'
+	case "Unlock", "RUnlock":
+		mode = 0
+	default:
+		return "", 0, false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", 0, false
+	}
+	return key, mode, true
+}
+
+// expr scans an expression for guarded-field accesses under the
+// current lock state; write marks the spine of an lvalue (or an
+// address-of operand).
+func (w *lockWalker) expr(e ast.Expr, write bool, state map[string]byte) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.access(e, write, state)
+		w.expr(e.X, false, state)
+	case *ast.IndexExpr:
+		w.expr(e.X, write, state)
+		w.expr(e.Index, false, state)
+	case *ast.SliceExpr:
+		w.expr(e.X, false, state)
+		w.expr(e.Low, false, state)
+		w.expr(e.High, false, state)
+		w.expr(e.Max, false, state)
+	case *ast.StarExpr:
+		w.expr(e.X, write, state)
+	case *ast.ParenExpr:
+		w.expr(e.X, write, state)
+	case *ast.UnaryExpr:
+		// Taking the address hands out a write-capable reference.
+		w.expr(e.X, e.Op == token.AND, state)
+	case *ast.BinaryExpr:
+		w.expr(e.X, false, state)
+		w.expr(e.Y, false, state)
+	case *ast.CallExpr:
+		w.expr(e.Fun, false, state)
+		for _, a := range e.Args {
+			w.expr(a, false, state)
+		}
+	case *ast.FuncLit:
+		// An inline literal (sort.Slice comparator, filter callback)
+		// runs on the caller's goroutine: inherit the lock state.
+		w.block(e.Body.List, copyState(state))
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, false, state)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, false, state)
+		w.expr(e.Value, false, state)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, false, state)
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				w.block(n.Body.List, copyState(state))
+				return false
+			case *ast.SelectorExpr:
+				w.access(n, false, state)
+			}
+			return true
+		})
+	}
+}
+
+// access checks one selector expression against the guard table.
+func (w *lockWalker) access(sel *ast.SelectorExpr, write bool, state map[string]byte) {
+	selection := w.pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	mu, guarded := w.guards[selection.Obj()]
+	if !guarded {
+		return
+	}
+	// Accesses through function-local variables are exempt: a freshly
+	// constructed value is not shared yet, and a properly locking
+	// alias tracks under its own rendered path anyway.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if !w.outer[v] && v.Parent() != w.pass.Pkg.Scope() {
+				return
+			}
+		}
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		return // unrenderable base (call result, index): out of reach for this model
+	}
+	lockKey := base + "." + mu
+	switch state[lockKey] {
+	case 'w':
+	case 'r':
+		if write {
+			w.pass.Reportf(sel.Pos(), "write to %s.%s holds only %s.RLock(); a write requires the full %s.Lock()", base, sel.Sel.Name, lockKey, lockKey)
+		}
+	default:
+		verb := "read of"
+		if write {
+			verb = "write to"
+		}
+		w.pass.Reportf(sel.Pos(), "%s %s.%s is not protected: %s is annotated %s %s but %s.Lock() is not held on every path here (hold it, use a *Locked helper, or suppress with a justification)",
+			verb, base, sel.Sel.Name, sel.Sel.Name, guardedbyDirective, mu, lockKey)
+	}
+}
+
+// exprKey renders a simple ident/selector chain ("f", "m.rep") for
+// use as a lock-state key, or "" when the expression is anything
+// fancier.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -92,7 +92,8 @@ func runGoList(dir string, args ...string) ([]goListPkg, error) {
 // concurrent use; analysistest runs share one process-wide set so
 // parallel analyzer tests exercise it under the race detector.
 type exportSet struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//pimcaps:guardedby mu
 	files map[string]string
 }
 
@@ -218,8 +219,10 @@ type srcImporter struct {
 	exports *exportSet
 	std     types.Importer
 
-	mu      sync.Mutex
-	pkgs    map[string]*types.Package
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	pkgs map[string]*types.Package
+	//pimcaps:guardedby mu
 	loading map[string]bool
 }
 

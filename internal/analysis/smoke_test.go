@@ -7,10 +7,10 @@ import (
 )
 
 // TestSuiteContents pins the suite's composition: CI annotations,
-// Makefile docs, and DESIGN.md all name these six checks.
+// Makefile docs, and DESIGN.md all name these nine checks.
 func TestSuiteContents(t *testing.T) {
 	t.Parallel()
-	want := []string{"releasecheck", "layercheck", "hotpathcheck", "floateqcheck", "paniccheck", "ctxcheck"}
+	want := []string{"releasecheck", "layercheck", "hotpathcheck", "floateqcheck", "paniccheck", "ctxcheck", "guardedby", "goroleak", "timerleak"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -11,5 +11,8 @@ func Suite() []*Analyzer {
 		Floateqcheck,
 		Paniccheck,
 		Ctxcheck,
+		Guardedby,
+		Goroleak,
+		Timerleak,
 	}
 }

@@ -53,3 +53,50 @@ func TestDirectiveDiagnostics(t *testing.T) {
 		t.Errorf("got %d diagnostics, want 3", n)
 	}
 }
+
+// TestConcurrencyDirectiveDiagnostics repeats the directive-machinery
+// checks against the concurrency analyzers: a reason-less
+// pimcaps/timerleak directive is malformed and suppresses nothing, a
+// pimcaps/goroleak directive on an already-clean goroutine is stale,
+// and a justified pimcaps/guardedby suppression silences its finding
+// without a stale report.
+func TestConcurrencyDirectiveDiagnostics(t *testing.T) {
+	t.Parallel()
+	loader := analysis.NewGoldenLoader(analysistest.TestData(t))
+	pkg, err := loader.Load("directiveconc/internal/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*analysis.Analyzer{analysis.Guardedby, analysis.Goroleak, analysis.Timerleak}
+	diags, err := analysis.RunAnalyzers(pkg, loader.Fset, analyzers, loader.IsProjectPkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMalformed, gotStale, gotTimerleak bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "malformed"):
+			gotMalformed = true
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "did not match any finding"):
+			gotStale = true
+		case d.Analyzer == "timerleak":
+			// The reason-less directive must NOT have suppressed the
+			// time.After finding beneath it.
+			gotTimerleak = true
+		default:
+			t.Errorf("unexpected diagnostic: %s (%s)", d.Message, d.Analyzer)
+		}
+	}
+	if !gotMalformed {
+		t.Error("reason-less pimcaps/timerleak directive was not reported as malformed")
+	}
+	if !gotStale {
+		t.Error("stale pimcaps/goroleak directive was not reported as unused")
+	}
+	if !gotTimerleak {
+		t.Error("malformed directive suppressed the timerleak finding beneath it")
+	}
+	if n := len(diags); n != 3 {
+		t.Errorf("got %d diagnostics, want 3 (the justified guardedby suppression must add none)", n)
+	}
+}

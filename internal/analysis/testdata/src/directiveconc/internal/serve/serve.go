@@ -1,0 +1,49 @@
+// Package serve exercises the suppression machinery against the
+// concurrency analyzers (guardedby, goroleak, timerleak): a
+// reason-less directive must not suppress the timerleak finding
+// beneath it, a directive on an already-clean goroutine is stale, and
+// a justified guardedby suppression works and is counted as used.
+// Checked by a direct unit test rather than want comments — appending
+// a want comment to a directive line would become the directive's
+// reason text.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// missingReason carries a pimcaps/timerleak directive with no
+// justification: the directive is malformed and the time.After finding
+// beneath it must still be reported.
+func missingReason(stop <-chan struct{}) {
+	select {
+	//lint:ignore pimcaps/timerleak
+	case <-time.After(time.Second):
+	case <-stop:
+	}
+}
+
+// staleIgnore joins its goroutine with a WaitGroup, so goroleak has
+// nothing to report and the directive is stale.
+func staleIgnore(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//lint:ignore pimcaps/goroleak the worker is joined by the caller's Wait
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+type gauge struct {
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	n int
+}
+
+// justified reads g.n lock-free under a properly justified directive:
+// the guardedby finding is suppressed and the directive counts as
+// used (no stale report).
+func justified(g *gauge) int {
+	//lint:ignore pimcaps/guardedby single-goroutine test helper, no concurrent writer exists
+	return g.n
+}

@@ -1,0 +1,108 @@
+// Package cluster is the goroleak golden for the concurrency
+// packages: every go statement must show a structural lifetime bound —
+// WaitGroup join, done-channel close, stop-channel/ctx.Done select, or
+// a buffered one-shot.
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	work chan int
+}
+
+// StartWorker joins via the WaitGroup: clean.
+func (p *pool) StartWorker() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for v := range p.work {
+			_ = v
+		}
+	}()
+}
+
+// run selects on the stop channel: clean when spawned.
+func (p *pool) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case v := <-p.work:
+			_ = v
+		}
+	}
+}
+
+// Start resolves the method body through the same package: clean.
+func (p *pool) Start() {
+	go p.run()
+}
+
+// Watch selects on ctx.Done(): clean.
+func Watch(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Signal closes a done channel so a joiner can wait: clean.
+func Signal(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// OneShot parks its result in a buffered channel: clean even when the
+// receiver abandons the wait.
+func OneShot(work func() error) error {
+	res := make(chan error, 1)
+	go func() {
+		res <- work()
+	}()
+	return <-res
+}
+
+// Leak ranges forever with no join, no done channel, no stop select.
+func (p *pool) Leak(ch chan int) {
+	go func() { // want `goroutine has no bounded lifetime: it loops`
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// PinnedSender sends on an unbuffered channel: if the receiver gives
+// up, the goroutine is pinned forever.
+func PinnedSender(work func() error) error {
+	res := make(chan error)
+	go func() { // want `sends on a channel not provably buffered`
+		res <- work()
+	}()
+	return <-res
+}
+
+// Opaque spawns a function value whose body the analyzer cannot read.
+func Opaque(fn func()) {
+	go fn() // want `cannot resolve this goroutine's body`
+}
+
+// Justified is Opaque with the paper trail the analyzer asks for.
+func Justified(fn func()) {
+	//lint:ignore pimcaps/goroleak caller passes a closure that is documented to select on its own stop channel
+	go fn()
+}

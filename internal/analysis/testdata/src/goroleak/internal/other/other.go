@@ -1,0 +1,12 @@
+// Package other sits outside the concurrency packages, so goroleak
+// does not apply: a command or example may fire-and-forget.
+package other
+
+// FireAndForget is out of scope: clean.
+func FireAndForget(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}

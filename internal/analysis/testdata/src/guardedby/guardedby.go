@@ -1,0 +1,129 @@
+// Package guardedby is the guardedby golden: fields annotated
+// //pimcaps:guardedby mu are only touched under their mutex, writes
+// need the full lock, *Locked helpers and fresh locals are exempt, and
+// a bad annotation is itself a finding.
+package guardedby
+
+import (
+	"sort"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	n int
+	// free is unannotated: accessible lock-free.
+	free int
+}
+
+// Inc holds the lock across the write: clean.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get holds via defer: clean.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Leak reads without the lock.
+func (c *counter) Leak() int {
+	return c.n // want `read of c\.n is not protected`
+}
+
+// Branchy only locks on one path, so the access is not dominated by a
+// lock.
+func (c *counter) Branchy(lock bool) {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want `write to c\.n is not protected`
+}
+
+// Early unlocks before the read.
+func (c *counter) Early() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `read of c\.n is not protected`
+}
+
+// Free touches only the unannotated field: clean.
+func (c *counter) Free() int { return c.free }
+
+// nLocked is exempt by suffix: the name is the caller's contract.
+func (c *counter) nLocked() int { return c.n }
+
+// Sum uses the exempt helper under the lock: clean.
+func (c *counter) Sum() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nLocked() + c.free
+}
+
+// newCounter touches fields of a value it just built: locals are not
+// shared yet, so this is clean.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Sampled documents a deliberate lock-free read with a suppression.
+func (c *counter) Sampled() int {
+	//lint:ignore pimcaps/guardedby benign stat read, staleness is acceptable here
+	return c.n
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	//pimcaps:guardedby mu
+	vals []float64
+}
+
+// Read under RLock: clean.
+func (g *gauge) Read(i int) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vals[i]
+}
+
+// SortUnder runs an inline closure under the write lock; the literal
+// inherits the lock state: clean.
+func (g *gauge) SortUnder() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sort.Slice(g.vals, func(i, j int) bool { return g.vals[i] < g.vals[j] })
+}
+
+// WeakWrite writes under only the read lock.
+func (g *gauge) WeakWrite(v float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.vals = append(g.vals, v) // want `write to g\.vals holds only g\.mu\.RLock\(\)`
+}
+
+// Spawn hands the fields to a goroutine that starts cold: the
+// spawner's lock does not protect the goroutine body.
+func (g *gauge) Spawn() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		_ = g.vals // want `read of g\.vals is not protected`
+	}()
+}
+
+type orphan struct {
+	//pimcaps:guardedby lock
+	x int // want `no sync\.Mutex or sync\.RWMutex field named "lock"`
+}
+
+// use keeps the linter-clean golden compiling.
+func use(o *orphan) int { return o.x }
+
+var _ = newCounter

@@ -1,0 +1,28 @@
+// Package serve is the timerleak golden for the strict rule: inside
+// the long-lived concurrency packages time.After never appears at all.
+package serve
+
+import "time"
+
+// WaitOnce would be fine elsewhere; here even a one-shot time.After
+// pins its timer for the full duration when the select exits early.
+func WaitOnce(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Minute): // want `time\.After starts a timer nothing can stop`
+		return 0
+	}
+}
+
+// Bounded is the replacement the analyzer points at: clean.
+func Bounded(ch chan int) int {
+	t := time.NewTimer(time.Minute)
+	defer t.Stop()
+	select {
+	case v := <-ch:
+		return v
+	case <-t.C:
+		return 0
+	}
+}

@@ -24,8 +24,10 @@ import (
 // complete. Unlike panicBox it is resettable, so one cell embedded in
 // a scratch serves every dispatch without allocating.
 type panicCell struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//pimcaps:guardedby mu
 	val any
+	//pimcaps:guardedby mu
 	set bool
 }
 
@@ -47,8 +49,10 @@ func (c *panicCell) capture(p any) {
 // chunk's done signal has been received (the channel receives provide
 // the happens-before edge for reading val without the lock).
 func (c *panicCell) repanic() {
-	if c.set {
-		panic(c.val)
+	//lint:ignore pimcaps/guardedby the per-chunk done-channel receives happen-before this read, so the lock is unnecessary here
+	set, val := c.set, c.val
+	if set {
+		panic(val)
 	}
 }
 
@@ -300,6 +304,7 @@ func (s *scratch) runChunks(n int, fn func(worker, lo, hi int)) {
 		j.fn, j.worker, j.lo, j.hi, j.done, j.box = fn, w, lo, hi, s.done, &s.box
 		used++
 	}
+	//lint:ignore pimcaps/guardedby pool is written once under poolMu in ensurePool, which this goroutine passed through when it acquired the scratch
 	pool := s.net.pool
 	for i := 1; i < used; i++ {
 		pool.jobs <- &s.jobs[i]

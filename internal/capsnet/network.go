@@ -161,10 +161,13 @@ type Network struct {
 	// await reuse in scratchFree; pool holds the persistent chunk
 	// workers; the atomics feed the ArenaBytes / PartitionCounts
 	// gauges serving exposes.
-	scratchMu   sync.Mutex
+	scratchMu sync.Mutex
+	//pimcaps:guardedby scratchMu
 	scratchFree []*scratch
 	poolMu      sync.Mutex
-	pool        *workerPool
+	//pimcaps:guardedby poolMu
+	pool *workerPool
+	//pimcaps:guardedby poolMu
 	poolSpawned int
 	arenaFloats atomic.Uint64
 	partB       atomic.Uint64

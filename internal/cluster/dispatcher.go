@@ -427,7 +427,12 @@ func (d *Dispatcher) attempt(ctx context.Context, rep ReplicaInfo, alt *ReplicaI
 	var hedgeTimer <-chan time.Time
 	if d.cfg.HedgeDelay > 0 && alt != nil && *hedgesLeft > 0 {
 		if dl.IsZero() || dl.Sub(d.now()) >= d.cfg.HedgeDelay+d.cfg.ExpectedServiceTime {
-			hedgeTimer = time.After(d.cfg.HedgeDelay)
+			// A stopped timer (not time.After) so the common case — the
+			// primary answers first — releases the timer immediately
+			// instead of pinning it for the full hedge delay.
+			hedge := time.NewTimer(d.cfg.HedgeDelay)
+			defer hedge.Stop()
+			hedgeTimer = hedge.C
 		} else {
 			d.cfg.Metrics.IncHedgeSkipped()
 			d.logger().Debug("hedge skipped, deadline too close",

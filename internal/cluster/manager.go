@@ -91,11 +91,16 @@ func (c ManagerConfig) Validate() error {
 type replica struct {
 	name string
 
-	mu       sync.Mutex
-	url      string
-	pid      int
-	ready    bool
-	load     Load
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	url string
+	//pimcaps:guardedby mu
+	pid int
+	//pimcaps:guardedby mu
+	ready bool
+	//pimcaps:guardedby mu
+	load Load
+	//pimcaps:guardedby mu
 	restarts uint64
 }
 
@@ -192,6 +197,13 @@ func (m *Manager) logger() *slog.Logger {
 // process lifetime; crashes cost backoff, clean stops end the loop.
 func (m *Manager) supervise(r *replica) {
 	backoff := m.cfg.BackoffMin
+	// One reused timer serves every backoff wait: time.After here would
+	// strand one live runtime timer per restart until each fired.
+	pause := time.NewTimer(0)
+	if !pause.Stop() {
+		<-pause.C
+	}
+	defer pause.Stop()
 	for {
 		select {
 		case <-m.stop:
@@ -221,8 +233,15 @@ func (m *Manager) supervise(r *replica) {
 			slog.Uint64("restarts", restarts),
 			slog.Duration("backoff", backoff),
 			slog.String("error", fmt.Sprint(err)))
+		if !pause.Stop() {
+			select {
+			case <-pause.C:
+			default:
+			}
+		}
+		pause.Reset(backoff)
 		select {
-		case <-time.After(backoff):
+		case <-pause.C:
 		case <-m.stop:
 			return
 		}
@@ -259,7 +278,9 @@ func (m *Manager) runOnce(r *replica) error {
 	// pipe would block the child); the first "serving" record carries
 	// the bound address.
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		scanner := bufio.NewScanner(stderr)
 		for scanner.Scan() {
 			line := scanner.Text()
@@ -275,16 +296,22 @@ func (m *Manager) runOnce(r *replica) error {
 			}
 		}
 	}()
+	// Every return path below leaves the process dead and reaped (the
+	// exitCh receive), which closes the stderr pipe and lets the
+	// scanner goroutine exit; the join keeps a restarted replica's
+	// scanner from interleaving writes with its predecessor's.
+	defer func() { <-scanDone }()
 	exitCh := make(chan error, 1)
 	go func() { exitCh <- cmd.Wait() }()
 
-	deadline := time.After(m.cfg.StartTimeout)
+	deadline := time.NewTimer(m.cfg.StartTimeout)
+	defer deadline.Stop()
 	var addr string
 	select {
 	case addr = <-addrCh:
 	case err := <-exitCh:
 		return fmt.Errorf("cluster: %s exited before serving: %v", r.name, err)
-	case <-deadline:
+	case <-deadline.C:
 		cmd.Process.Kill()
 		<-exitCh
 		return fmt.Errorf("cluster: %s never logged its address within %v", r.name, m.cfg.StartTimeout)
@@ -309,7 +336,7 @@ func (m *Manager) runOnce(r *replica) error {
 		case err := <-exitCh:
 			readyWait.Stop()
 			return fmt.Errorf("cluster: %s exited before ready: %v", r.name, err)
-		case <-deadline:
+		case <-deadline.C:
 			readyWait.Stop()
 			cmd.Process.Kill()
 			<-exitCh
@@ -354,10 +381,12 @@ func (m *Manager) runOnce(r *replica) error {
 // SIGTERM (the serve binary drains on it), bounded wait, SIGKILL.
 func (m *Manager) terminate(cmd *exec.Cmd, exitCh <-chan error) error {
 	cmd.Process.Signal(syscall.SIGTERM)
+	grace := time.NewTimer(m.cfg.StopTimeout)
+	defer grace.Stop()
 	select {
 	case err := <-exitCh:
 		return err
-	case <-time.After(m.cfg.StopTimeout):
+	case <-grace.C:
 		cmd.Process.Kill()
 		return <-exitCh
 	}

@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"pimcapsnet/internal/testutil"
 )
 
 // TestMain doubles the test binary as a fake capsnet-serve replica: the
@@ -26,7 +28,10 @@ func TestMain(m *testing.M) {
 		runFakeReplica()
 		return
 	}
-	os.Exit(m.Run())
+	// The leak net (see internal/testutil) verifies every manager
+	// supervisor, stderr scanner, and dispatcher goroutine is joined by
+	// the time the suite ends.
+	os.Exit(testutil.VerifyNoLeaks(m))
 }
 
 func runFakeReplica() {

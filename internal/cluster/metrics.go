@@ -28,6 +28,7 @@ type Metrics struct {
 	// replicaReqs counts attempts per {replica, code}: code is the
 	// replica's HTTP status, or "error" for transport failures and
 	// "corrupt" for responses that failed validation.
+	//pimcaps:guardedby mu
 	replicaReqs map[string]map[string]uint64
 
 	retries atomic.Uint64

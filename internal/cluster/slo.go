@@ -41,7 +41,8 @@ type SLOTracker struct {
 	target float64
 	clock  obs.Clock
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//pimcaps:guardedby mu
 	slots [sloSlotCount]sloSlot
 }
 

@@ -39,9 +39,11 @@ var ErrInjectedPanic = errors.New("fault: injected panic")
 // mutex, which is irrelevant for performance because injection only
 // runs in fault campaigns.
 type Injector struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// seed is immutable after New; only the RNG stream needs the lock.
 	seed int64
-	rng  *rand.Rand
+	//pimcaps:guardedby mu
+	rng *rand.Rand
 }
 
 // New returns an Injector whose whole decision stream derives from

@@ -1,0 +1,15 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+
+	"pimcapsnet/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak net over the load generator's
+// dispatch workers (see internal/testutil): an open-loop run that
+// returns without joining its senders fails the whole binary.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m))
+}

@@ -65,10 +65,14 @@ type FlightEntry struct {
 type FlightRecorder struct {
 	cfg FlightConfig
 
-	mu      sync.Mutex
-	ring    []FlightEntry
-	next    int
-	pinned  uint64 // entries ever pinned (including since-evicted)
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	ring []FlightEntry
+	//pimcaps:guardedby mu
+	next int
+	//pimcaps:guardedby mu
+	pinned uint64 // entries ever pinned (including since-evicted)
+	//pimcaps:guardedby mu
 	offered uint64 // requests ever offered (pinned or not)
 }
 
@@ -180,7 +184,7 @@ type flightDoc struct {
 func (f *FlightRecorder) WriteJSON(w io.Writer) error {
 	entries := f.Entries()
 	doc := flightDoc{
-		Pinned: f.Pinned(), Retained: len(entries), Capacity: cap(f.ring),
+		Pinned: f.Pinned(), Retained: len(entries), Capacity: f.cfg.Capacity,
 		Entries: make([]flightWire, 0, len(entries)),
 	}
 	for _, e := range entries {

@@ -87,13 +87,18 @@ type Trace struct {
 	// Start is when the request was admitted.
 	Start time.Time
 
-	mu     sync.Mutex
-	end    time.Time
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	end time.Time
+	//pimcaps:guardedby mu
 	parent string
-	spans  []Span
+	//pimcaps:guardedby mu
+	spans []Span
 	// sampled marks traces the counter sampler chose for the
 	// completed-trace ring; a flight-recorder-armed server records
-	// every request live but only ring-retains sampled ones.
+	// every request live but only ring-retains sampled ones. It is
+	// deliberately NOT guardedby mu: written once before the trace is
+	// shared, read lock-free afterwards.
 	sampled bool
 }
 
@@ -210,7 +215,8 @@ var fallbackID idCounter
 
 type idCounter struct {
 	mu sync.Mutex
-	n  uint64
+	//pimcaps:guardedby mu
+	n uint64
 }
 
 func (c *idCounter) next() uint64 {

@@ -40,10 +40,14 @@ type Tracer struct {
 	newID func() string
 	epoch time.Time
 
-	mu    sync.Mutex
-	seq   uint64
-	ring  []*Trace // ring[next] is the oldest slot once full
-	next  int
+	mu sync.Mutex
+	//pimcaps:guardedby mu
+	seq uint64
+	//pimcaps:guardedby mu
+	ring []*Trace // ring[next] is the oldest slot once full
+	//pimcaps:guardedby mu
+	next int
+	//pimcaps:guardedby mu
 	total uint64 // completed traces ever pushed
 }
 

@@ -131,7 +131,8 @@ type Batcher struct {
 	// before inference so stage spans land on the right timeline.
 	rec *obs.StageRecorder
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//pimcaps:guardedby mu
 	closed bool
 
 	// inflight counts requests admitted by Submit whose outcome has not
@@ -162,19 +163,37 @@ func NewBatcher(cfg Config, run RunFunc, m *Metrics, routingIterations int) *Bat
 		routingIterations: routingIterations,
 		q:                 newQueue(cfg.QueueSize),
 		runCh:             make(chan []*request, 1),
-		timer: func(d time.Duration) <-chan time.Time {
-			return time.After(d)
-		},
-		wdTimer: func(d time.Duration) <-chan time.Time {
-			return time.After(d)
-		},
-		abortTimer: func(d time.Duration) <-chan time.Time {
-			return time.After(d)
-		},
-		clock:          clock,
-		stop:           make(chan struct{}),
-		dispatcherDone: make(chan struct{}),
-		runnerDone:     make(chan struct{}),
+		timer:             reusableTimer(),
+		wdTimer:           reusableTimer(),
+		abortTimer:        reusableTimer(),
+		clock:             clock,
+		stop:              make(chan struct{}),
+		dispatcherDone:    make(chan struct{}),
+		runnerDone:        make(chan struct{}),
+	}
+}
+
+// reusableTimer returns a timer factory backed by one lazily created
+// time.Timer: each call re-arms it with a drain-safe reset and hands
+// back its channel, so arming a deadline per batch stops costing one
+// unstoppable time.After timer per batch. A factory (like the Batcher
+// field it populates) must only ever be called from one goroutine: the
+// dispatcher owns timer, the runner owns wdTimer and abortTimer.
+func reusableTimer() func(time.Duration) <-chan time.Time {
+	var t *time.Timer
+	return func(d time.Duration) <-chan time.Time {
+		if t == nil {
+			t = time.NewTimer(d)
+			return t.C
+		}
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(d)
+		return t.C
 	}
 }
 

@@ -92,9 +92,11 @@ type brownout struct {
 
 	level atomic.Int64
 
-	mu            sync.Mutex
+	mu sync.Mutex
+	//pimcaps:guardedby mu
 	pressureSince time.Time
-	calmSince     time.Time
+	//pimcaps:guardedby mu
+	calmSince time.Time
 }
 
 // newBrownout builds the controller for a network with the given

@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"pimcapsnet/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak net: the static goroleak analyzer
+// proves every go statement here has bounded lifetime on paper, and
+// this verifies the bound actually fires — a batcher whose Close fails
+// to join its dispatcher/runner fails the whole binary.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m))
+}

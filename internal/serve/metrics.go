@@ -11,19 +11,6 @@ import (
 	"pimcapsnet/internal/obs"
 )
 
-// Histogram is the fixed-bucket, lock-free histogram from
-// internal/obs (where it moved so the stdlib-only open-loop load
-// generator records latencies into the same bucket machinery the
-// server exposes — client- and server-side distributions then merge
-// exactly). The alias keeps the serve API unchanged.
-type Histogram = obs.Histogram
-
-// NewHistogram creates a histogram with the given ascending upper
-// bounds.
-func NewHistogram(bounds ...float64) *Histogram {
-	return obs.NewHistogram(bounds...)
-}
-
 // Serving-pipeline stage names (the capsnet_stage_seconds label
 // values the HTTP/batching layers observe; forward-pass internals use
 // capsnet.Stage* names). Together the five pipeline stages partition
@@ -63,25 +50,26 @@ type Metrics struct {
 
 	// Latency is the end-to-end request latency in seconds, observed
 	// by the HTTP handler (queueing + batching + forward + encode).
-	Latency *Histogram
+	Latency *obs.Histogram
 	// BatchSize is the per-launched-batch request count.
-	BatchSize *Histogram
+	BatchSize *obs.Histogram
 	// QueueWait is the per-request admission-queue wait in seconds
 	// (capsnet_queue_wait_seconds) — the batching cost a request pays
 	// for sharing its forward pass.
-	QueueWait *Histogram
+	QueueWait *obs.Histogram
 	// RoutingIteration is the per-iteration dynamic-routing time in
 	// seconds (capsnet_routing_iteration_seconds), the direct
 	// production counterpart of the paper's Figure 3/4 routing
 	// characterization.
-	RoutingIteration *Histogram
+	RoutingIteration *obs.Histogram
 
 	// stages holds one histogram per observed stage label
 	// (capsnet_stage_seconds{stage=...}), created on first
 	// observation so capsnet can add stages without a schema change
 	// here.
 	stagesMu sync.RWMutex
-	stages   map[string]*Histogram
+	//pimcaps:guardedby stagesMu
+	stages map[string]*obs.Histogram
 
 	batches      atomic.Uint64
 	routingIters atomic.Uint64
@@ -141,12 +129,12 @@ const maxBrownoutSeries = 16
 // power-of-two micro-batch caps up to 64, stage buckets from 25µs up.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		Latency: NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		Latency: obs.NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
-		BatchSize:        NewHistogram(1, 2, 4, 8, 16, 32, 64),
-		QueueWait:        NewHistogram(defaultStageBuckets...),
-		RoutingIteration: NewHistogram(defaultStageBuckets...),
-		stages:           make(map[string]*Histogram),
+		BatchSize:        obs.NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		QueueWait:        obs.NewHistogram(defaultStageBuckets...),
+		RoutingIteration: obs.NewHistogram(defaultStageBuckets...),
+		stages:           make(map[string]*obs.Histogram),
 	}
 }
 
@@ -181,7 +169,7 @@ func (m *Metrics) ObserveStage(stage string, seconds float64) {
 
 // StageHistogram returns (creating on first use) the histogram behind
 // capsnet_stage_seconds{stage=...}.
-func (m *Metrics) StageHistogram(stage string) *Histogram {
+func (m *Metrics) StageHistogram(stage string) *obs.Histogram {
 	m.stagesMu.RLock()
 	h, ok := m.stages[stage]
 	m.stagesMu.RUnlock()
@@ -194,9 +182,9 @@ func (m *Metrics) StageHistogram(stage string) *Histogram {
 		return h
 	}
 	if m.stages == nil {
-		m.stages = make(map[string]*Histogram)
+		m.stages = make(map[string]*obs.Histogram)
 	}
-	h = NewHistogram(defaultStageBuckets...)
+	h = obs.NewHistogram(defaultStageBuckets...)
 	m.stages[stage] = h
 	return h
 }
@@ -341,7 +329,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 	for s := range m.stages {
 		stages = append(stages, s)
 	}
-	hists := make([]*Histogram, len(stages))
+	hists := make([]*obs.Histogram, len(stages))
 	sort.Strings(stages)
 	for i, s := range stages {
 		hists[i] = m.stages[s]

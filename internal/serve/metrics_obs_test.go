@@ -6,13 +6,15 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pimcapsnet/internal/obs"
 )
 
 // TestHistogramObserveZero pins the sum fix: a zero observation must
 // count AND contribute zero to the sum (the old guard silently dropped
 // non-positive values from sumMicro, skewing _sum/_count means).
 func TestHistogramObserveZero(t *testing.T) {
-	h := NewHistogram(1, 2)
+	h := obs.NewHistogram(1, 2)
 	h.Observe(0)
 	h.Observe(2)
 	if h.Count() != 2 {
@@ -27,7 +29,7 @@ func TestHistogramObserveZero(t *testing.T) {
 // upstream bug for durations) clamp to zero instead of wrapping the
 // uint64 sum.
 func TestHistogramObserveNegativeClamps(t *testing.T) {
-	h := NewHistogram(1)
+	h := obs.NewHistogram(1)
 	h.Observe(-5)
 	if h.Count() != 1 {
 		t.Fatalf("count %d, want 1", h.Count())
@@ -45,7 +47,7 @@ func TestHistogramObserveNegativeClamps(t *testing.T) {
 // report that bound (not a fabricated interpolation) and the overflow
 // counter exposes the clipping.
 func TestHistogramAllOverflow(t *testing.T) {
-	h := NewHistogram(1, 2)
+	h := obs.NewHistogram(1, 2)
 	for i := 0; i < 10; i++ {
 		h.Observe(50)
 	}
@@ -66,7 +68,7 @@ func TestHistogramAllOverflow(t *testing.T) {
 // upper bound lands in that bucket (le is inclusive, per Prometheus
 // semantics).
 func TestHistogramExactBound(t *testing.T) {
-	h := NewHistogram(1, 2, 4)
+	h := obs.NewHistogram(1, 2, 4)
 	h.Observe(2)
 	if got := h.BucketCounts()[1]; got != 1 {
 		t.Fatalf("Observe(2) landed in counts %v, want bucket le=2", h.BucketCounts())
@@ -83,7 +85,7 @@ func TestHistogramExactBound(t *testing.T) {
 // TestHistogramConcurrent hammers one histogram from many goroutines;
 // meaningful under -race (the CI race job) and double-checks totals.
 func TestHistogramConcurrent(t *testing.T) {
-	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	h := obs.NewHistogram(0.001, 0.01, 0.1, 1)
 	const workers, per = 8, 1000
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -111,7 +113,7 @@ func TestHistogramConcurrent(t *testing.T) {
 // exposition: exact output, unlabeled and labeled, including the
 // quantile, bucket, sum, count, and overflow lines.
 func TestHistogramGoldenExposition(t *testing.T) {
-	h := NewHistogram(0.5, 1)
+	h := obs.NewHistogram(0.5, 1)
 	h.Observe(0.25)
 	h.Observe(0.25)
 	h.Observe(0.75)

@@ -4,10 +4,12 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"pimcapsnet/internal/obs"
 )
 
 func TestHistogramQuantiles(t *testing.T) {
-	h := NewHistogram(1, 2, 4, 8)
+	h := obs.NewHistogram(1, 2, 4, 8)
 	// 50 observations ≤1, 30 in (1,2], 15 in (2,4], 5 in (4,8].
 	for i := 0; i < 50; i++ {
 		h.Observe(0.5)
@@ -39,7 +41,7 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 func TestHistogramOverflowBucket(t *testing.T) {
-	h := NewHistogram(1, 2)
+	h := obs.NewHistogram(1, 2)
 	h.Observe(100) // lands in +Inf, attributed to the largest bound
 	if got := h.Quantile(0.99); got != 2 {
 		t.Errorf("+Inf quantile %g, want capped at 2", got)
@@ -47,7 +49,7 @@ func TestHistogramOverflowBucket(t *testing.T) {
 }
 
 func TestHistogramEmpty(t *testing.T) {
-	h := NewHistogram(1)
+	h := obs.NewHistogram(1)
 	if got := h.Quantile(0.5); got != 0 {
 		t.Errorf("empty quantile %g, want 0", got)
 	}

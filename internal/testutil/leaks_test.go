@@ -1,0 +1,89 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGoroutineIDParsesHeader(t *testing.T) {
+	if got := goroutineID("goroutine 42 [chan receive]:\nmain.leak()"); got != "42" {
+		t.Fatalf("goroutineID = %q, want 42", got)
+	}
+	if got := goroutineID("not a goroutine header"); got != "" {
+		t.Fatalf("goroutineID on garbage = %q, want empty", got)
+	}
+}
+
+func TestBenignFiltersHarnessStacks(t *testing.T) {
+	harness := "goroutine 1 [running]:\ntesting.(*M).Run(...)\n\tmain.go:1"
+	if !benign(harness) {
+		t.Fatal("testing.(*M).Run stack should be benign")
+	}
+	worker := "goroutine 9 [chan receive]:\npimcapsnet/internal/serve.(*Batcher).dispatch(...)"
+	if benign(worker) {
+		t.Fatal("a project worker goroutine must not be benign")
+	}
+}
+
+func TestSnapshotSeesLiveGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	defer close(release)
+
+	found := false
+	for _, stack := range goroutineStacks() {
+		if strings.Contains(stack, "TestSnapshotSeesLiveGoroutine") && !strings.Contains(stack, "testing.tRunner") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot did not capture the blocked helper goroutine")
+	}
+}
+
+func TestAwaitCatchesLeakedGoroutine(t *testing.T) {
+	before := map[string]bool{}
+	for id := range goroutineStacks() {
+		before[id] = true
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // deliberately outlives the grace window
+		close(started)
+		<-release
+	}()
+	<-started
+	defer close(release)
+
+	leaked := awaitNoNewGoroutines(before)
+	if len(leaked) != 1 {
+		t.Fatalf("awaitNoNewGoroutines found %d leaks, want exactly the planted one:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "TestAwaitCatchesLeakedGoroutine") {
+		t.Fatalf("leak report names the wrong goroutine:\n%s", leaked[0])
+	}
+}
+
+func TestAwaitToleratesTransientGoroutine(t *testing.T) {
+	before := map[string]bool{}
+	for id := range goroutineStacks() {
+		before[id] = true
+	}
+	started := make(chan struct{})
+	go func() { // exits well inside the grace window
+		close(started)
+		time.Sleep(50 * time.Millisecond)
+	}()
+	<-started
+
+	if leaked := awaitNoNewGoroutines(before); len(leaked) != 0 {
+		t.Fatalf("transient goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
